@@ -1,0 +1,72 @@
+// stm-bench runs the experiment suite that regenerates every figure and
+// theorem of the paper, printing each experiment's tables and verdict.
+//
+//	stm-bench                 run everything at full budgets
+//	stm-bench -quick          reduced budgets
+//	stm-bench -id E5          a single experiment
+//	stm-bench -markdown       emit tables as markdown (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/settimeliness/settimeliness/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced budgets")
+		id       = flag.String("id", "", "run a single experiment (E1..E8)")
+		seed     = flag.Int64("seed", 1, "base seed")
+		markdown = flag.Bool("markdown", false, "emit tables as markdown")
+	)
+	flag.Parse()
+	if err := run(*quick, *id, *seed, *markdown); err != nil {
+		fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, id string, seed int64, markdown bool) error {
+	cfg := experiments.Config{Quick: quick, Seed: seed}
+	list := experiments.All()
+	if id != "" {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		list = []experiments.Experiment{e}
+	}
+	failures := 0
+	for _, e := range list {
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if markdown {
+			status := "REPRODUCED"
+			if !res.Pass {
+				status = "FAILED"
+			}
+			fmt.Printf("### %s — %s [%s]\n\n> %s\n\n", res.ID, res.Title, status, res.Claim)
+			for _, note := range res.Notes {
+				fmt.Printf("*%s*\n\n", note)
+			}
+			for _, tb := range res.Tables {
+				fmt.Println(tb.Markdown())
+			}
+		} else {
+			fmt.Println(res.Render())
+			fmt.Println()
+		}
+		if !res.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) did not reproduce", failures)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// stm-matrix prints the Theorem 27 solvability matrix for a
+// (t,k,n)-agreement problem, optionally validating every cell empirically
+// (solvable cells must decide and verify; unsolvable cells must stay safe
+// without deciding under the adaptive adversary).
+//
+//	stm-matrix -t 3 -k 2 -n 5
+//	stm-matrix -t 2 -k 2 -n 4 -empirical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/settimeliness/settimeliness/internal/core"
+	"github.com/settimeliness/settimeliness/internal/experiments"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+func main() {
+	var (
+		t         = flag.Int("t", 3, "resilience t")
+		k         = flag.Int("k", 2, "agreement parameter k")
+		n         = flag.Int("n", 5, "number of processes n")
+		empirical = flag.Bool("empirical", false, "run every cell on the simulator")
+		seed      = flag.Int64("seed", 1, "schedule seed for empirical runs")
+	)
+	flag.Parse()
+	if err := run(*t, *k, *n, *empirical, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "stm-matrix: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(t, k, n int, empirical bool, seed int64) error {
+	p := core.Problem{T: t, K: k, N: n}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("%v — solvable in S^i_{j,%d} iff i ≤ %d and j−i ≥ %d (Theorem 27)\n", p, n, k, t+1-k)
+	fmt.Printf("matching system: %v\n\n", p.MatchingSystem())
+
+	if !empirical {
+		fmt.Print("      ")
+		for j := 1; j <= n; j++ {
+			fmt.Printf("  j=%-2d", j)
+		}
+		fmt.Println()
+		for i := 1; i <= n; i++ {
+			fmt.Printf("  i=%-2d", i)
+			for j := 1; j <= n; j++ {
+				switch {
+				case j < i:
+					fmt.Print("     -")
+				default:
+					ok, err := p.SolvableIn(core.Sij(i, j, n))
+					if err != nil {
+						return err
+					}
+					if ok {
+						fmt.Print("     Y")
+					} else {
+						fmt.Print("     .")
+					}
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+
+	cells, err := experiments.RunMatrix(p, seed, 3_000_000, 300_000)
+	if err != nil {
+		return err
+	}
+	tb := trace.NewTable("empirical matrix", "i", "j", "theory", "empirical", "match")
+	mismatches := 0
+	for _, c := range cells {
+		theory := "unsolvable"
+		if c.Theory {
+			theory = "solvable"
+		}
+		match := "yes"
+		if !c.Match {
+			match = "NO"
+			mismatches++
+		}
+		tb.AddRow(c.I, c.J, theory, c.Empirical, match)
+	}
+	fmt.Println(tb.Render())
+	if mismatches > 0 {
+		return fmt.Errorf("%d cells did not match the characterization", mismatches)
+	}
+	fmt.Println("all cells match the characterization")
+	return nil
+}

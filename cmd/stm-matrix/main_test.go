@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestTheoreticalMatrix(t *testing.T) {
+	t.Parallel()
+	if err := run(3, 2, 5, false, 1); err != nil {
+		t.Errorf("theoretical matrix failed: %v", err)
+	}
+	if err := run(0, 2, 5, false, 1); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestEmpiricalMatrixSmall(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("empirical matrix skipped in -short mode")
+	}
+	// The smallest nontrivial problem keeps the empirical sweep fast while
+	// exercising both solvable and unsolvable cells.
+	if err := run(1, 1, 3, true, 1); err != nil {
+		t.Errorf("empirical matrix failed: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+// stm-run executes a single (t,k,n)-agreement run in a chosen system
+// S^i_{j,n} on the deterministic simulator and reports the outcome.
+//
+//	stm-run -t 2 -k 2 -n 4
+//	stm-run -t 3 -k 2 -n 5 -i 2 -j 4 -crashes "4:30,5:0" -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	stm "github.com/settimeliness/settimeliness"
+)
+
+func main() {
+	var (
+		t       = flag.Int("t", 2, "resilience t")
+		k       = flag.Int("k", 2, "agreement parameter k")
+		n       = flag.Int("n", 4, "number of processes n")
+		i       = flag.Int("i", 0, "system parameter i (0 = matching system)")
+		j       = flag.Int("j", 0, "system parameter j (0 = matching system)")
+		seed    = flag.Int64("seed", 1, "schedule seed")
+		steps   = flag.Int("steps", 0, "step budget (0 = default)")
+		crashes = flag.String("crashes", "", "crash pattern, e.g. \"4:30,5:0\" (process:steps)")
+	)
+	flag.Parse()
+	if err := run(*t, *k, *n, *i, *j, *seed, *steps, *crashes); err != nil {
+		fmt.Fprintf(os.Stderr, "stm-run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseCrashes(spec string) (map[stm.ProcID]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[stm.ProcID]int)
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad crash entry %q (want process:steps)", part)
+		}
+		p, err := strconv.Atoi(strings.TrimPrefix(kv[0], "p"))
+		if err != nil {
+			return nil, fmt.Errorf("bad process in %q: %w", part, err)
+		}
+		s, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad step count in %q: %w", part, err)
+		}
+		out[stm.ProcID(p)] = s
+	}
+	return out, nil
+}
+
+func run(t, k, n, i, j int, seed int64, steps int, crashSpec string) error {
+	crashes, err := parseCrashes(crashSpec)
+	if err != nil {
+		return err
+	}
+	cfg := stm.SolveConfig{
+		Problem:  stm.NewProblem(t, k, n),
+		Seed:     seed,
+		MaxSteps: steps,
+		Crashes:  crashes,
+	}
+	if i != 0 || j != 0 {
+		cfg.System = stm.Sij(i, j, n)
+	} else {
+		cfg.System = stm.MatchingSystem(t, k, n)
+	}
+	fmt.Printf("problem: %v   system: %v   seed: %d\n", cfg.Problem, cfg.System, seed)
+
+	res, err := stm.Solve(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decided: %v in %d steps; correct = %v; %d distinct value(s)\n",
+		res.Decided, res.Steps, res.Correct, res.Distinct)
+	for p := stm.ProcID(1); p <= stm.ProcID(n); p++ {
+		if v, ok := res.Decisions[p]; ok {
+			fmt.Printf("  %v -> %v\n", p, v)
+		} else {
+			fmt.Printf("  %v -> (no decision; crashed)\n", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseCrashes(t *testing.T) {
+	t.Parallel()
+	got, err := parseCrashes("4:30, p5:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[4] != 30 || got[5] != 0 {
+		t.Errorf("parseCrashes = %v", got)
+	}
+	if got, err := parseCrashes(""); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v", got, err)
+	}
+	for _, bad := range []string{"4", "x:1", "4:y", "4:1,zz"} {
+		if _, err := parseCrashes(bad); err == nil {
+			t.Errorf("parseCrashes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	t.Parallel()
+	if err := run(2, 2, 4, 0, 0, 1, 0, "4:30"); err != nil {
+		t.Errorf("matching-system run failed: %v", err)
+	}
+	if err := run(3, 2, 5, 2, 4, 2, 0, ""); err != nil {
+		t.Errorf("explicit boundary cell failed: %v", err)
+	}
+	if err := run(3, 2, 5, 2, 3, 1, 0, ""); err == nil {
+		t.Error("unsolvable cell accepted")
+	}
+	if err := run(0, 2, 4, 0, 0, 1, 0, ""); err == nil {
+		t.Error("invalid t accepted")
+	}
+	if err := run(2, 2, 4, 0, 0, 1, 0, "bogus"); err == nil {
+		t.Error("bad crash spec accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// stm-sched generates schedules and analyzes set timeliness (Definition 1).
+//
+//	stm-sched figure1 -rounds 6
+//	stm-sched analyze -schedule "p1 p3 p2 p3 p1" -p "{p1,p2}" -q "{p3}"
+//	stm-sched gen -type starver -n 4 -k 2 -steps 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "figure1":
+		err = cmdFigure1(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stm-sched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  stm-sched figure1 -rounds N             print Figure 1 prefix and its bounds
+  stm-sched analyze -schedule S -p P -q Q analyze Definition 1 for sets P, Q
+  stm-sched gen -type T -n N -steps S     generate a schedule (roundrobin|random|starver)`)
+}
+
+func cmdFigure1(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	rounds := fs.Int("rounds", 4, "number of rounds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := sched.Figure1Prefix(1, 2, 3, *rounds)
+	fmt.Printf("S = %v\n", s)
+	for _, set := range []procset.Set{procset.MakeSet(1), procset.MakeSet(2), procset.MakeSet(1, 2)} {
+		fmt.Printf("minBound(%v, {p3}) = %d\n", set, sched.MinBound(s, set, procset.MakeSet(3)))
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	scheduleText := fs.String("schedule", "", "schedule, e.g. \"p1 p3 p2\"")
+	pText := fs.String("p", "", "set P, e.g. \"{p1,p2}\"")
+	qText := fs.String("q", "", "set Q, e.g. \"{p3}\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := sched.Parse(*scheduleText)
+	if err != nil {
+		return err
+	}
+	p, err := procset.Parse(*pText)
+	if err != nil {
+		return err
+	}
+	q, err := procset.Parse(*qText)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule length: %d, participants: %v\n", len(s), s.Participants())
+	fmt.Printf("max %v-gap without %v: %d\n", q, p, sched.MaxQGap(s, p, q))
+	fmt.Printf("minimal Definition 1 bound: %d\n", sched.MinBound(s, p, q))
+	fmt.Printf("gap profile: %v\n", sched.GapProfile(s, p, q))
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	typ := fs.String("type", "roundrobin", "roundrobin|random|starver")
+	n := fs.Int("n", 4, "number of processes")
+	k := fs.Int("k", 2, "starvation parameter (starver only)")
+	steps := fs.Int("steps", 32, "steps to emit")
+	seed := fs.Int64("seed", 1, "seed (random only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		src sched.Source
+		err error
+	)
+	switch *typ {
+	case "roundrobin":
+		src, err = sched.RoundRobin(*n, nil)
+	case "random":
+		src, err = sched.Random(*n, *seed, nil)
+	case "starver":
+		src, err = sched.RotatingStarver(*n, *k, 1)
+	default:
+		return fmt.Errorf("unknown type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+	s := sched.Take(src, *steps)
+	fmt.Println(s)
+	return nil
+}

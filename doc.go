@@ -1,0 +1,32 @@
+// Package settimeliness is an executable model of "Partial Synchrony Based
+// on Set Timeliness" (Aguilera, Delporte-Gallet, Fauconnier, Toueg, PODC
+// 2009).
+//
+// The paper generalizes process timeliness to set timeliness — a set P of
+// processes is timely with respect to a set Q in a schedule S if, for some
+// bound b, every window of S containing b steps of Q contains a step of P —
+// and uses it to define the family of partially synchronous shared-memory
+// systems S^i_{j,n} (at least one i-set timely with respect to at least one
+// j-set). Its main theorem characterizes exactly when t-resilient k-set
+// agreement among n processes is solvable in S^i_{j,n}:
+//
+//	(t,k,n)-agreement is solvable in S^i_{j,n}  iff  i ≤ k and j−i ≥ t+1−k.
+//
+// This package exposes the model and the constructions:
+//
+//   - schedule analysis (IsTimely, MinBound, Figure1Prefix) over finite
+//     schedules;
+//   - the S^i_{j,n} system identifiers, the solvability predicate, and the
+//     matching system S^k_{t+1,n} of a problem;
+//   - Solve, which runs the paper's positive construction — the Figure 2
+//     implementation of t-resilient k-anti-Ω composed with k leader-based
+//     consensus instances — on a deterministic simulated shared memory
+//     driven by a schedule generator for the chosen system, and verifies
+//     the three agreement properties on the resulting run;
+//   - RunDetector, which runs the Figure 2 failure detector alone.
+//
+// The full theory, substrates (BG simulation, atomic snapshots, safe
+// agreement, adaptive adversaries) and the per-figure experiment harness
+// live in the internal packages; see DESIGN.md for the map and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package settimeliness

@@ -1,0 +1,62 @@
+package settimeliness_test
+
+import (
+	"fmt"
+
+	stm "github.com/settimeliness/settimeliness"
+)
+
+// The paper's main question as a predicate: is (t,k,n)-agreement solvable
+// in S^i_{j,n}? (Theorem 27: iff i ≤ k and j−i ≥ t+1−k.)
+func ExampleSolvable() {
+	for _, cell := range []struct{ i, j int }{{2, 4}, {2, 3}, {3, 5}} {
+		ok, _ := stm.Solvable(3, 2, 5, cell.i, cell.j)
+		fmt.Printf("(3,2,5)-agreement in %v: %v\n", stm.Sij(cell.i, cell.j, 5), ok)
+	}
+	// Output:
+	// (3,2,5)-agreement in S^2_{4,5}: true
+	// (3,2,5)-agreement in S^2_{3,5}: false
+	// (3,2,5)-agreement in S^3_{5,5}: false
+}
+
+// Every problem has a weakest system in the family that solves it.
+func ExampleMatchingSystem() {
+	fmt.Println(stm.MatchingSystem(3, 2, 5))
+	fmt.Println(stm.MatchingSystem(1, 1, 4)) // consensus, one crash
+	fmt.Println(stm.MatchingSystem(1, 2, 4)) // k ≥ t+1: asynchronous suffices
+	// Output:
+	// S^2_{4,5}
+	// S^1_{2,4}
+	// S^1_{1,4}
+}
+
+// Definition 1 on the paper's Figure 1 schedule: neither singleton is
+// timely with respect to {q}, but the pair is.
+func ExampleMinBound() {
+	s := stm.Figure1Prefix(1, 2, 3, 8)
+	fmt.Println(stm.MinBound(s, stm.NewSet(1), stm.NewSet(3)))
+	fmt.Println(stm.MinBound(s, stm.NewSet(2), stm.NewSet(3)))
+	fmt.Println(stm.MinBound(s, stm.NewSet(1, 2), stm.NewSet(3)))
+	// Output:
+	// 10
+	// 10
+	// 2
+}
+
+// Solve runs the full Theorem 24 construction — the Figure 2 failure
+// detector composed with k leader-based consensus instances — on a
+// simulated shared memory and verifies the run.
+func ExampleSolve() {
+	res, err := stm.Solve(stm.SolveConfig{
+		Problem:   stm.NewProblem(1, 1, 3), // consensus, one crash tolerated
+		Proposals: map[stm.ProcID]any{1: "x", 2: "x", 3: "x"},
+		Seed:      1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("decided=%v distinct=%d value=%v\n", res.Decided, res.Distinct, res.Decisions[1])
+	// Output:
+	// decided=true distinct=1 value=x
+}

@@ -1,0 +1,66 @@
+// Walk the Theorem 27 frontier: for (t,k,n) = (3,2,5), print the full
+// (i,j) solvability matrix and demonstrate both sides of the boundary by
+// running the solver in a solvable cell and asking for an unsolvable one.
+//
+//	go run ./examples/boundary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stm "github.com/settimeliness/settimeliness"
+)
+
+func main() {
+	t, k, n := 3, 2, 5
+	fmt.Printf("Theorem 27 for (t,k,n) = (%d,%d,%d): solvable in S^i_{j,%d} iff i ≤ %d and j−i ≥ %d\n\n",
+		t, k, n, n, k, t+1-k)
+
+	fmt.Print("      ")
+	for j := 1; j <= n; j++ {
+		fmt.Printf("  j=%d", j)
+	}
+	fmt.Println()
+	for i := 1; i <= n; i++ {
+		fmt.Printf("  i=%d ", i)
+		for j := 1; j <= n; j++ {
+			if j < i {
+				fmt.Print("    -")
+				continue
+			}
+			ok, err := stm.Solvable(t, k, n, i, j)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				fmt.Print("    Y")
+			} else {
+				fmt.Print("    .")
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nsolving in the boundary cell %v...\n", stm.Sij(2, 4, 5))
+	res, err := stm.Solve(stm.SolveConfig{
+		Problem: stm.NewProblem(t, k, n),
+		System:  stm.Sij(2, 4, 5),
+		Crashes: map[stm.ProcID]int{4: 30, 5: 0},
+		Seed:    2,
+	})
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+	fmt.Printf("decided: %v values across %v in %d steps\n", res.Distinct, res.Correct, res.Steps)
+
+	fmt.Printf("\nasking for the cell just past the frontier, %v:\n", stm.Sij(2, 3, 5))
+	if _, err := stm.Solve(stm.SolveConfig{
+		Problem: stm.NewProblem(t, k, n),
+		System:  stm.Sij(2, 3, 5),
+	}); err != nil {
+		fmt.Printf("rejected as expected: %v\n", err)
+	} else {
+		log.Fatal("unsolvable cell was accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Leader election and consensus from set timeliness: with k = 1 the
+// t-resilient k-anti-Ω detector of Figure 2 is an eventual leader oracle
+// (the winnerset is a single, eventually common, correct process — the
+// complement view of Ω), and (t,1,n)-agreement is consensus.
+//
+//	go run ./examples/leaderelection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stm "github.com/settimeliness/settimeliness"
+)
+
+func main() {
+	// Five processes, one may crash: consensus needs S^1_{2,5} — a single
+	// process timely with respect to one other process.
+	fmt.Printf("matching system for consensus (t=1, n=5): %v\n\n", stm.MatchingSystem(1, 1, 5))
+
+	det, err := stm.RunDetector(stm.DetectorConfig{
+		N: 5, K: 1, T: 1,
+		Crashes: map[stm.ProcID]int{2: 60},
+		Seed:    4,
+	})
+	if err != nil {
+		log.Fatalf("detector: %v", err)
+	}
+	fmt.Printf("Ω stabilized: leader %v elected after %d steps (witness %v from step %d)\n",
+		det.Winnerset, det.Steps, det.Witness, det.StableFrom)
+
+	res, err := stm.Solve(stm.SolveConfig{
+		Problem:   stm.NewProblem(1, 1, 5),
+		Proposals: map[stm.ProcID]any{1: "red", 2: "green", 3: "blue", 4: "yellow", 5: "cyan"},
+		Crashes:   map[stm.ProcID]int{2: 60},
+		Seed:      4,
+	})
+	if err != nil {
+		log.Fatalf("consensus: %v", err)
+	}
+	fmt.Printf("\nconsensus reached in %d steps on %d value:\n", res.Steps, res.Distinct)
+	for p := stm.ProcID(1); p <= 5; p++ {
+		if v, ok := res.Decisions[p]; ok {
+			fmt.Printf("  %v decided %v\n", p, v)
+		}
+	}
+}

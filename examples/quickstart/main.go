@@ -1,0 +1,39 @@
+// Quickstart: solve 2-resilient 2-set agreement among six processes in the
+// matching partially synchronous system S^2_{3,6}, with two crashes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stm "github.com/settimeliness/settimeliness"
+)
+
+func main() {
+	problem := stm.NewProblem(2, 2, 6) // t=2 crashes tolerated, k=2 values, n=6
+	fmt.Printf("problem:   %v\n", problem)
+	fmt.Printf("matching:  %v (Theorem 24: weakest system of the family that solves it)\n",
+		stm.MatchingSystem(2, 2, 6))
+
+	res, err := stm.Solve(stm.SolveConfig{
+		Problem: problem,
+		Crashes: map[stm.ProcID]int{5: 40, 6: 0}, // p5 crashes after 40 steps, p6 never runs
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+
+	fmt.Printf("correct:   %v\n", res.Correct)
+	fmt.Printf("steps:     %d\n", res.Steps)
+	fmt.Printf("distinct:  %d (allowed: 2)\n", res.Distinct)
+	for p := stm.ProcID(1); p <= 6; p++ {
+		if v, ok := res.Decisions[p]; ok {
+			fmt.Printf("  %v decided %v\n", p, v)
+		} else {
+			fmt.Printf("  %v crashed before deciding\n", p)
+		}
+	}
+}

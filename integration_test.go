@@ -1,0 +1,120 @@
+package settimeliness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFrontierSweepIntegration walks every solvable (i,j) cell of several
+// problems through the public API: the dispatcher must pick a working
+// configuration (including the Theorem 27 case 1(b) detector reduction) and
+// the run must decide and verify.
+func TestFrontierSweepIntegration(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("frontier sweep skipped in -short mode")
+	}
+	problems := []Problem{
+		NewProblem(2, 2, 4),
+		NewProblem(3, 2, 5),
+		NewProblem(2, 1, 4),
+	}
+	for _, p := range problems {
+		p := p
+		for i := 1; i <= p.N; i++ {
+			for j := i; j <= p.N; j++ {
+				ok, err := Solvable(p.T, p.K, p.N, i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+				i, j := i, j
+				t.Run(fmt.Sprintf("%v_in_S%d_%d", p, i, j), func(t *testing.T) {
+					t.Parallel()
+					res, err := Solve(SolveConfig{
+						Problem: p,
+						System:  Sij(i, j, p.N),
+						Crashes: map[ProcID]int{ProcID(p.N): 30},
+						Seed:    int64(i*10 + j),
+					})
+					if err != nil {
+						t.Fatalf("Solve: %v", err)
+					}
+					if !res.Decided {
+						t.Fatal("did not decide")
+					}
+					if res.Distinct > p.K {
+						t.Fatalf("%d distinct decisions > k = %d", res.Distinct, p.K)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMatchingSystemIsWeakestSolvable checks, through the public API, that
+// the matching system sits exactly on the frontier: it solves, but weakening
+// either parameter by one (i+1, or j−1 when distinct from i) does not.
+func TestMatchingSystemIsWeakestSolvable(t *testing.T) {
+	t.Parallel()
+	for n := 3; n <= 8; n++ {
+		for to := 1; to <= n-1; to++ {
+			for k := 1; k <= to; k++ {
+				m := MatchingSystem(to, k, n)
+				ok, err := Solvable(to, k, n, m.I, m.J)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("matching system %v does not solve (%d,%d,%d)", m, to, k, n)
+				}
+				if m.I+1 <= m.J {
+					ok, err = Solvable(to, k, n, m.I+1, m.J)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						t.Fatalf("S^%d_{%d,%d} should not solve (%d,%d,%d)", m.I+1, m.J, n, to, k, n)
+					}
+				}
+				if m.J-1 >= m.I {
+					ok, err = Solvable(to, k, n, m.I, m.J-1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok {
+						t.Fatalf("S^%d_{%d,%d} should not solve (%d,%d,%d)", m.I, m.J-1, n, to, k, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAbstractSeparationClaim verifies the abstract's headline through the
+// public API: S^k_{t+1,n} is synchronous enough for (t,k,n)-agreement but
+// not for (t+1,k,n) or (t,k−1,n); the matching systems of those two are
+// S^k_{t+2,n} and S^{k−1}_{t+1,n}.
+func TestAbstractSeparationClaim(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ t, k, n int }{{2, 2, 5}, {3, 2, 6}, {3, 3, 7}} {
+		m := MatchingSystem(tc.t, tc.k, tc.n)
+		if ok, _ := Solvable(tc.t, tc.k, tc.n, m.I, m.J); !ok {
+			t.Errorf("(%d,%d,%d) not solvable in its matching system", tc.t, tc.k, tc.n)
+		}
+		if ok, _ := Solvable(tc.t+1, tc.k, tc.n, m.I, m.J); ok {
+			t.Errorf("(%d,%d,%d) solvable in %v", tc.t+1, tc.k, tc.n, m)
+		}
+		if ok, _ := Solvable(tc.t, tc.k-1, tc.n, m.I, m.J); ok {
+			t.Errorf("(%d,%d,%d) solvable in %v", tc.t, tc.k-1, tc.n, m)
+		}
+		if got := MatchingSystem(tc.t+1, tc.k, tc.n); got != Sij(tc.k, tc.t+2, tc.n) {
+			t.Errorf("matching of (t+1,k,n) = %v", got)
+		}
+		if got := MatchingSystem(tc.t, tc.k-1, tc.n); got != Sij(tc.k-1, tc.t+1, tc.n) {
+			t.Errorf("matching of (t,k-1,n) = %v", got)
+		}
+	}
+}

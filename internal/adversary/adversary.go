@@ -1,0 +1,165 @@
+// Package adversary implements the adaptive scheduler used to exercise the
+// impossibility side of Theorems 26 and 27.
+//
+// A fixed schedule family rarely defeats a concrete algorithm: the Theorem
+// 24 construction can commit a consensus instance during any transiently
+// quiet window. The proofs therefore rely on an adversary that reacts to the
+// execution. This package provides one specialized against this repository's
+// solver (which is all an executable witness can be — the theorem itself
+// rules out every algorithm):
+//
+//   - Park rule: the moment a process performs a phase-2 ballot write in any
+//     consensus instance, it is parked (stops being scheduled). Since every
+//     decision write is preceded in the same ballot by that process's
+//     phase-2 write, no decision register is ever written.
+//   - Resume rule: a parked process is released as soon as a strictly higher
+//     ballot is planted in the same instance; its next steps re-read the
+//     ballot blocks, observe the intruder and abort. Parking is therefore
+//     always temporary (no process crashes), and at most one process is
+//     parked per instance at a time, so at most DetectorK ≤ k processes are
+//     parked at any instant.
+//   - Base schedule: round-robin over the unparked live processes, with an
+//     optional set of processes crashed from the start (the "fictitious"
+//     processes of the Theorem 27 case 2(b) construction).
+//
+// Consequences for the generated schedule: every set of k+1 live processes
+// is timely with respect to Πn (at most k parked at once, the rest scheduled
+// round-robin), so the schedule lies in S^i_{j,n} for the configured cell,
+// while the parked-on-demand pattern starves exactly the processes that are
+// about to decide.
+package adversary
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/consensus"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// Config parameterizes the adversary.
+type Config struct {
+	// N is the system size.
+	N int
+	// CrashedFromStart are processes that never take a step.
+	CrashedFromStart procset.Set
+}
+
+// Adversary drives a sim.Runner adaptively. Create one per run.
+type Adversary struct {
+	cfg    Config
+	order  []procset.ID
+	pos    int
+	parked map[procset.ID]parkInfo
+	// highest planted ballot per consensus instance
+	maxBallot map[string]int
+	schedule  sched.Schedule
+}
+
+type parkInfo struct {
+	instance string
+	ballot   int
+}
+
+// New builds an adversary.
+func New(cfg Config) (*Adversary, error) {
+	if cfg.N < 1 || cfg.N > procset.MaxProcs {
+		return nil, fmt.Errorf("adversary: n = %d out of range", cfg.N)
+	}
+	live := procset.FullSet(cfg.N).Minus(cfg.CrashedFromStart)
+	if live.IsEmpty() {
+		return nil, fmt.Errorf("adversary: all processes crashed")
+	}
+	return &Adversary{
+		cfg:       cfg,
+		order:     live.Members(),
+		parked:    make(map[procset.ID]parkInfo),
+		maxBallot: make(map[string]int),
+	}, nil
+}
+
+// Correct returns the set of processes scheduled infinitely often: everyone
+// not crashed from the start (parking is always temporary).
+func (a *Adversary) Correct() procset.Set {
+	return procset.FullSet(a.cfg.N).Minus(a.cfg.CrashedFromStart)
+}
+
+// Schedule returns the schedule generated so far.
+func (a *Adversary) Schedule() sched.Schedule { return a.schedule }
+
+// next picks the round-robin successor among unparked live processes. If
+// every live process is parked (which the park/resume invariants prevent,
+// but guard anyway), the least recently scheduled parked process is released
+// to keep the schedule infinite.
+func (a *Adversary) next() procset.ID {
+	for range a.order {
+		p := a.order[a.pos]
+		a.pos = (a.pos + 1) % len(a.order)
+		if _, isParked := a.parked[p]; !isParked {
+			return p
+		}
+	}
+	// Degenerate fallback: everything parked; release the current candidate.
+	p := a.order[a.pos]
+	a.pos = (a.pos + 1) % len(a.order)
+	delete(a.parked, p)
+	return p
+}
+
+// observe updates the park/resume state from an executed step.
+func (a *Adversary) observe(info sim.StepInfo) {
+	if info.Kind != sim.OpWrite {
+		return
+	}
+	instance, kind := consensus.ParseRegister(info.Reg)
+	if kind != RegisterBallotKind {
+		return
+	}
+	mbal, _, phase2, ok := consensus.BlockInfo(info.Value)
+	if !ok {
+		return
+	}
+	if mbal > a.maxBallot[instance] {
+		a.maxBallot[instance] = mbal
+		// A strictly higher ballot was planted: release any process parked
+		// on this instance with a lower ballot — when it resumes, its
+		// phase-2 read sweep will observe the intruder and abort.
+		for p, pk := range a.parked {
+			if pk.instance == instance && pk.ballot < mbal {
+				delete(a.parked, p)
+			}
+		}
+	}
+	if phase2 {
+		// The writer is one read-sweep away from a decision write: park it
+		// until someone plants a higher ballot.
+		a.parked[info.Proc] = parkInfo{instance: instance, ballot: mbal}
+	}
+}
+
+// RegisterBallotKind aliases the consensus register kind for observe.
+const RegisterBallotKind = consensus.RegisterBallot
+
+// Drive executes up to maxSteps steps against the runner, checking stop
+// every checkEvery steps. It returns the number of steps taken and whether
+// the stop predicate fired.
+func (a *Adversary) Drive(runner *sim.Runner, maxSteps, checkEvery int, stop func() bool) (int, bool) {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	for i := 0; i < maxSteps; i++ {
+		p := a.next()
+		a.schedule = append(a.schedule, p)
+		info := runner.Step(p)
+		a.observe(info)
+		if stop != nil && (i+1)%checkEvery == 0 && stop() {
+			return i + 1, true
+		}
+	}
+	return maxSteps, false
+}
+
+// MaxParked returns the number of processes currently parked (diagnostics;
+// the invariant keeps it at most the number of consensus instances in play).
+func (a *Adversary) MaxParked() int { return len(a.parked) }

@@ -1,0 +1,139 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Config{N: 0}); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := New(Config{N: 2, CrashedFromStart: procset.MakeSet(1, 2)}); err == nil {
+		t.Error("all-crashed accepted")
+	}
+	adv, err := New(Config{N: 3, CrashedFromStart: procset.MakeSet(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Correct() != procset.MakeSet(1, 2) {
+		t.Errorf("Correct = %v", adv.Correct())
+	}
+}
+
+// TestParkingPreventsDecisions is the core property: against the Theorem 24
+// construction for (k,k,n), the adversary prevents every decision while
+// keeping every (k+1)-set timely (the schedule stays in S^{k+1}_{n,n}).
+func TestParkingPreventsDecisions(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ k, n int }{{1, 3}, {2, 4}}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("k%d_n%d", tc.k, tc.n), func(t *testing.T) {
+			t.Parallel()
+			cfg := kset.Config{N: tc.n, K: tc.k, T: tc.k}
+			ag, err := kset.New(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner, err := sim.NewRunner(sim.Config{
+				N:         tc.n,
+				Algorithm: ag.Algorithm(func(p procset.ID) any { return int(p) }),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer runner.Close()
+			adv, err := New(Config{N: tc.n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, stopped := adv.Drive(runner, 250_000, 100, func() bool {
+				return !ag.DecidedSet().IsEmpty()
+			})
+			if stopped {
+				t.Fatalf("a process decided after %d steps despite the parking adversary", steps)
+			}
+			if got := ag.DecidedSet(); !got.IsEmpty() {
+				t.Fatalf("decided set %v not empty", got)
+			}
+			// Schedule conformance: every (k+1)-set timely w.r.t. Πn with a
+			// modest bound on a long prefix.
+			s := adv.Schedule()
+			full := procset.FullSet(tc.n)
+			for _, set := range procset.KSubsets(tc.n, tc.k+1) {
+				if b := sched.MinBound(s, set, full); b > 4*tc.n {
+					t.Errorf("set %v has bound %d; schedule left S^%d_{%d,%d}",
+						set, b, tc.k+1, tc.n, tc.n)
+				}
+			}
+		})
+	}
+}
+
+func TestParkedNeverExceedsInstances(t *testing.T) {
+	t.Parallel()
+	cfg := kset.Config{N: 4, K: 2, T: 2}
+	ag, err := kset.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sim.NewRunner(sim.Config{
+		N:         4,
+		Algorithm: ag.Algorithm(func(p procset.ID) any { return int(p) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	adv, err := New(Config{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0
+	adv.Drive(runner, 120_000, 1, func() bool {
+		if adv.MaxParked() > worst {
+			worst = adv.MaxParked()
+		}
+		return false
+	})
+	if worst > 2 {
+		t.Errorf("parked %d processes at once; invariant allows at most k = 2", worst)
+	}
+}
+
+func TestCrashedTailNeverScheduled(t *testing.T) {
+	t.Parallel()
+	cfg := kset.Config{N: 5, K: 2, T: 3}
+	ag, err := kset.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sim.NewRunner(sim.Config{
+		N:         5,
+		Algorithm: ag.Algorithm(func(p procset.ID) any { return int(p) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	crashed := procset.MakeSet(4, 5)
+	adv, err := New(Config{N: 5, CrashedFromStart: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv.Drive(runner, 50_000, 0, nil)
+	s := adv.Schedule()
+	if got := s.Steps(crashed); got != 0 {
+		t.Errorf("crashed processes took %d steps", got)
+	}
+	if !s.Participants().SubsetOf(procset.MakeSet(1, 2, 3)) {
+		t.Errorf("participants = %v", s.Participants())
+	}
+}

@@ -1,0 +1,134 @@
+package antiomega
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+func TestAggregatePolicies(t *testing.T) {
+	t.Parallel()
+	// Direct unit test of the accusation aggregation on a fixed counter row.
+	mk := func(agg Aggregation, tt int) *Instance {
+		return &Instance{cfg: Config{N: 4, K: 2, T: tt, Aggregate: agg}, scratch: make([]int, 4)}
+	}
+	cnt := []int{0, 5, 1, 9, 3} // index 0 unused; sorted values: 1,3,5,9
+	tests := []struct {
+		name string
+		in   *Instance
+		want int
+	}{
+		{"paper t=1 -> 2nd smallest", mk(AggregateTPlus1Smallest, 1), 3},
+		{"paper t=2 -> 3rd smallest", mk(AggregateTPlus1Smallest, 2), 5},
+		{"paper t=3 -> 4th smallest (max)", mk(AggregateTPlus1Smallest, 3), 9},
+		{"min", mk(AggregateMin, 2), 1},
+		{"max", mk(AggregateMax, 2), 9},
+	}
+	for _, tc := range tests {
+		if got := tc.in.aggregate(cnt); got != tc.want {
+			t.Errorf("%s: aggregate = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAggregateQuickOrderStatistics(t *testing.T) {
+	t.Parallel()
+	// The paper's aggregate is always between min and max, and equals the
+	// (t+1)-st order statistic of the row.
+	f := func(raw []uint8, tRaw uint8) bool {
+		n := len(raw)
+		if n < 2 || n > 16 {
+			return true
+		}
+		tt := int(tRaw)%(n-1) + 1
+		in := &Instance{cfg: Config{N: n, K: 1, T: tt}, scratch: make([]int, n)}
+		cnt := make([]int, n+1)
+		for i, b := range raw {
+			cnt[i+1] = int(b)
+		}
+		got := in.aggregate(cnt)
+		sorted := append([]int(nil), cnt[1:]...)
+		sort.Ints(sorted)
+		want := sorted[tt] // (t+1)-st smallest, 0-indexed t
+		if tt+1 > n {
+			want = sorted[n-1]
+		}
+		return got == want && got >= sorted[0] && got <= sorted[n-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedTimeoutKeepsAccusing(t *testing.T) {
+	t.Parallel()
+	// With FixedTimeout, every set keeps expiring: the total number of
+	// counter writes grows linearly with iterations (no adaptation), whereas
+	// the paper's adaptive variant settles.
+	countWrites := func(cfg Config) int {
+		writes := 0
+		runner, err := sim.NewRunner(sim.Config{
+			N: cfg.N,
+			Algorithm: func(p procset.ID) sim.Algorithm {
+				return func(env sim.Env) {
+					in, err := NewInstance(cfg, env)
+					if err != nil {
+						panic(err)
+					}
+					for {
+						in.Iterate()
+					}
+				}
+			},
+			Observer: func(s sim.StepInfo) {
+				if s.Kind == sim.OpWrite && len(s.Reg) > 7 && s.Reg[:7] == "Counter" {
+					writes++
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer runner.Close()
+		src, err := sched.RoundRobin(cfg.N, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner.Run(src, 120_000, 0, nil)
+		return writes
+	}
+	adaptive := countWrites(Config{N: 3, K: 1, T: 1})
+	fixed := countWrites(Config{N: 3, K: 1, T: 1, FixedTimeout: true})
+	if fixed < 10*adaptive {
+		t.Errorf("fixed timeout wrote %d counters vs adaptive %d; expected runaway accusations", fixed, adaptive)
+	}
+}
+
+func TestDetectorLargerScale(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("larger-scale convergence test skipped in -short mode")
+	}
+	// n=8, k=3, t=4: C(8,3) = 56 subsets, 456 registers; still converges.
+	cfg := Config{N: 8, K: 3, T: 4}
+	src, _, err := sched.System(8, 3, 5, 4, 5, map[procset.ID]int{6: 0, 7: 40, 8: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, hist, stable := runDetector(t, cfg, src, 4_000_000)
+	if !stable {
+		t.Fatal("no convergence at n=8")
+	}
+	correct := src.Correct()
+	w, ok := det.StableWinnerset(correct)
+	if !ok || w.Intersect(correct).IsEmpty() {
+		t.Fatalf("winnerset %v (ok=%v)", w, ok)
+	}
+	if v := hist.Check(cfg.K, correct); !v.Holds {
+		t.Errorf("property failed: %s", v.Reason)
+	}
+}

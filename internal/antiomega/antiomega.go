@@ -1,0 +1,354 @@
+// Package antiomega implements the algorithm of Figure 2 of the paper: an
+// implementation of the t-resilient k-anti-Ω failure detector in the
+// partially synchronous system S^k_{t+1,n} (Theorem 23).
+//
+// Shared registers:
+//
+//	Heartbeat[p]   for every p ∈ Πn            (written only by p)
+//	Counter[A, q]  for every A ∈ Πkn, q ∈ Πn   (written only by q)
+//
+// Each process repeatedly: reads all counters, computes each set's
+// accusation counter (the (t+1)-st smallest entry of Counter[A, *]), picks
+// the set with the smallest (accusation, A) as winnerset, outputs
+// Πn − winnerset, bumps its own heartbeat, reads everyone's heartbeat to
+// reset timers of sets containing processes that moved, and increments
+// Counter[A, p] for every set A whose timer expired — doubling that set's
+// timeout for the future.
+//
+// The algorithm is exposed as a resumable Instance so that higher layers
+// (the agreement construction of internal/kset) can interleave detector
+// iterations with their own steps within a single process automaton, as the
+// paper's composition of a failure detector with an algorithm does.
+package antiomega
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// Aggregation selects how a set's accusation counter is derived from
+// Counter[A, *]. The paper fixes the (t+1)-st smallest entry (Definition
+// 13); the alternatives are deliberately broken and exist only for the
+// ablation experiments, which demonstrate that the paper's choice is
+// load-bearing.
+type Aggregation int
+
+// Aggregation policies.
+const (
+	// AggregateTPlus1Smallest is the paper's Definition 13: the (t+1)-st
+	// smallest entry. It is the only policy for which Theorem 23 holds.
+	AggregateTPlus1Smallest Aggregation = iota
+	// AggregateMin breaks Lemma 17: a fully crashed set keeps accusation 0
+	// (every set member's own entry never grows), so a dead set can remain
+	// the winnerset forever.
+	AggregateMin
+	// AggregateMax breaks Lemma 16: a single slow-but-correct accuser keeps
+	// the timely set's accusation growing, so no set ever stabilizes.
+	AggregateMax
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// N is the number of processes (n ≥ 2).
+	N int
+	// K is the anti-Ω parameter: outputs have n−k members (1 ≤ k ≤ n−1).
+	K int
+	// T is the resilience: the property must hold when at most T processes
+	// crash (k ≤ t ≤ n−1 per Theorem 23; K > T configurations are accepted
+	// because the detector is still well-defined, just trivial to satisfy).
+	T int
+
+	// Aggregate overrides Definition 13 for ablation experiments; leave
+	// zero (AggregateTPlus1Smallest) for the paper's algorithm.
+	Aggregate Aggregation
+	// FixedTimeout disables the adaptive timeout growth of Figure 2 line 17
+	// (ablation): with a constant timeout every set keeps being accused and
+	// the detector cannot stabilize.
+	FixedTimeout bool
+}
+
+// Validate checks the parameter ranges.
+func (c Config) Validate() error {
+	if c.N < 2 || c.N > procset.MaxProcs {
+		return fmt.Errorf("antiomega: n = %d out of range [2,%d]", c.N, procset.MaxProcs)
+	}
+	if c.K < 1 || c.K > c.N-1 {
+		return fmt.Errorf("antiomega: k = %d out of range [1,%d]", c.K, c.N-1)
+	}
+	if c.T < 1 || c.T > c.N-1 {
+		return fmt.Errorf("antiomega: t = %d out of range [1,%d]", c.T, c.N-1)
+	}
+	return nil
+}
+
+// Instance is the per-process state of the Figure 2 algorithm. Create one
+// with NewInstance inside the process's algorithm function and call Iterate
+// repeatedly; between calls, Output and Winnerset expose the detector state
+// for composition with other sub-automata of the same process.
+type Instance struct {
+	cfg  Config
+	env  sim.Env
+	self procset.ID
+
+	subsets []procset.Set // Πkn in canonical (tie-break) order
+	mine    []int         // indices of subsets containing self
+
+	hbRefs      []sim.Ref   // Heartbeat[q], indexed by process (1-based)
+	counterRefs [][]sim.Ref // Counter[A, q], indexed by subset index, then process (1-based)
+
+	// Local variables, named as in Figure 2.
+	fdOutput      procset.Set
+	winnerset     procset.Set
+	myHb          int
+	prevHeartbeat []int   // indexed by process (1-based)
+	timeout       []int   // indexed by subset
+	timer         []int   // indexed by subset
+	accusation    []int   // indexed by subset
+	cnt           [][]int // indexed by subset, then process (1-based)
+
+	iterations int
+	scratch    []int // reused buffer for the (t+1)-st smallest computation
+}
+
+// NewInstance builds the instance and creates its register handles. It must
+// be called from within the process's algorithm function (it performs no
+// steps). The environment's Self() identifies the process.
+func NewInstance(cfg Config, env sim.Env) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if env.N() != cfg.N {
+		return nil, fmt.Errorf("antiomega: env has n = %d, config has n = %d", env.N(), cfg.N)
+	}
+	subsets := procset.KSubsets(cfg.N, cfg.K)
+	in := &Instance{
+		cfg:           cfg,
+		env:           env,
+		self:          env.Self(),
+		subsets:       subsets,
+		hbRefs:        make([]sim.Ref, cfg.N+1),
+		counterRefs:   make([][]sim.Ref, len(subsets)),
+		prevHeartbeat: make([]int, cfg.N+1),
+		timeout:       make([]int, len(subsets)),
+		timer:         make([]int, len(subsets)),
+		accusation:    make([]int, len(subsets)),
+		cnt:           make([][]int, len(subsets)),
+		scratch:       make([]int, cfg.N),
+	}
+	for q := 1; q <= cfg.N; q++ {
+		in.hbRefs[q] = env.Reg(fmt.Sprintf("Heartbeat[%d]", q))
+	}
+	for ai, a := range subsets {
+		in.counterRefs[ai] = make([]sim.Ref, cfg.N+1)
+		for q := 1; q <= cfg.N; q++ {
+			in.counterRefs[ai][q] = env.Reg(fmt.Sprintf("Counter[%d,%d]", ai, q))
+		}
+		in.cnt[ai] = make([]int, cfg.N+1)
+		in.timeout[ai] = 1
+		in.timer[ai] = 1
+		if a.Contains(in.self) {
+			in.mine = append(in.mine, ai)
+		}
+	}
+	// Initial fdOutput: any set of n−k processes (Figure 2's initializer);
+	// we use the complement of the first subset in the canonical order.
+	in.winnerset = subsets[0]
+	in.fdOutput = subsets[0].Complement(cfg.N)
+	return in, nil
+}
+
+// asInt converts a register value to int, mapping the initial nil to 0.
+func asInt(v any) int {
+	if v == nil {
+		return 0
+	}
+	i, ok := v.(int)
+	if !ok {
+		panic(fmt.Sprintf("antiomega: register holds %T, want int", v))
+	}
+	return i
+}
+
+// Iterate runs one iteration of the main loop of Figure 2 (lines 2–19).
+// It costs |Πkn|·n + 1 + n + (#expired sets) steps.
+func (in *Instance) Iterate() {
+	n := in.cfg.N
+	// Lines 2–5: choose FD output.
+	for ai := range in.subsets {
+		for q := 1; q <= n; q++ {
+			in.cnt[ai][q] = asInt(in.env.Read(in.counterRefs[ai][q]))
+		}
+	}
+	for ai := range in.subsets {
+		in.accusation[ai] = in.aggregate(in.cnt[ai])
+	}
+	winner := 0
+	for ai := 1; ai < len(in.subsets); ai++ {
+		if in.accusation[ai] < in.accusation[winner] {
+			winner = ai
+		}
+	}
+	in.winnerset = in.subsets[winner]
+	in.fdOutput = in.winnerset.Complement(n)
+
+	// Lines 6–7: bump heartbeat.
+	in.myHb++
+	in.env.Write(in.hbRefs[in.self], in.myHb)
+
+	// Lines 8–13: check other processes' heartbeats.
+	for q := 1; q <= n; q++ {
+		hbq := asInt(in.env.Read(in.hbRefs[q]))
+		if hbq > in.prevHeartbeat[q] {
+			member := procset.ID(q)
+			for ai, a := range in.subsets {
+				if a.Contains(member) {
+					in.timer[ai] = in.timeout[ai]
+				}
+			}
+			in.prevHeartbeat[q] = hbq
+		}
+	}
+
+	// Lines 14–19: check for expiration of set timers.
+	for ai := range in.subsets {
+		in.timer[ai]--
+		if in.timer[ai] == 0 {
+			if !in.cfg.FixedTimeout {
+				in.timeout[ai]++
+			}
+			in.timer[ai] = in.timeout[ai]
+			in.env.Write(in.counterRefs[ai][in.self], in.cnt[ai][in.self]+1)
+		}
+	}
+	in.iterations++
+}
+
+// aggregate computes the accusation counter from cnt[1..n] per the
+// configured policy; the paper's Definition 13 is the (t+1)-st smallest,
+// clamped to n (relevant only for t = n−1, where t+1 = n is the largest).
+func (in *Instance) aggregate(cnt []int) int {
+	vals := in.scratch[:0]
+	vals = append(vals, cnt[1:]...)
+	sort.Ints(vals)
+	switch in.cfg.Aggregate {
+	case AggregateMin:
+		return vals[0]
+	case AggregateMax:
+		return vals[len(vals)-1]
+	default:
+		k := in.cfg.T + 1
+		if k > len(vals) {
+			k = len(vals)
+		}
+		return vals[k-1]
+	}
+}
+
+// Output returns the current fdOutput of this process: Πn − winnerset,
+// a set of n−k processes.
+func (in *Instance) Output() procset.Set { return in.fdOutput }
+
+// Winnerset returns the current winnerset of this process: the k-subset with
+// the smallest accusation counter.
+func (in *Instance) Winnerset() procset.Set { return in.winnerset }
+
+// Iterations returns how many full loop iterations have completed.
+func (in *Instance) Iterations() int { return in.iterations }
+
+// Accusation returns the most recently computed accusation counter for the
+// subset with the given canonical index. It is exposed for the Lemma 21/22
+// experiments.
+func (in *Instance) Accusation(subsetIndex int) int { return in.accusation[subsetIndex] }
+
+// Timeout returns the current timeout for the subset with the given
+// canonical index (Lemma 11 diagnostics).
+func (in *Instance) Timeout(subsetIndex int) int { return in.timeout[subsetIndex] }
+
+// Subsets returns the canonical enumeration of Πkn used by this instance.
+// Callers must not modify the returned slice.
+func (in *Instance) Subsets() []procset.Set { return in.subsets }
+
+// Detector bundles n instances whose outputs are observable by the harness.
+// It is the package's convenience layer for running the detector alone.
+type Detector struct {
+	cfg     Config
+	outputs []procset.Set // indexed by process (1-based); harness-visible
+	winners []procset.Set
+	iters   []int
+	onOut   func(p procset.ID, out procset.Set)
+}
+
+// NewDetector returns a detector harness for the given configuration.
+// onOutput, if non-nil, is invoked from algorithm code whenever a process's
+// fdOutput changes; per the simulator's park barrier it runs serially.
+func NewDetector(cfg Config, onOutput func(p procset.ID, out procset.Set)) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:     cfg,
+		outputs: make([]procset.Set, cfg.N+1),
+		winners: make([]procset.Set, cfg.N+1),
+		iters:   make([]int, cfg.N+1),
+		onOut:   onOutput,
+	}, nil
+}
+
+// Algorithm returns the process code: an endless loop of Figure 2
+// iterations, publishing output changes to the harness.
+func (d *Detector) Algorithm(p procset.ID) sim.Algorithm {
+	return func(env sim.Env) {
+		in, err := NewInstance(d.cfg, env)
+		if err != nil {
+			panic(err) // configuration was validated in NewDetector
+		}
+		prev := procset.EmptySet
+		for {
+			in.Iterate()
+			d.outputs[p] = in.Output()
+			d.winners[p] = in.Winnerset()
+			d.iters[p] = in.Iterations()
+			if in.Output() != prev {
+				prev = in.Output()
+				if d.onOut != nil {
+					d.onOut(p, prev)
+				}
+			}
+		}
+	}
+}
+
+// Output returns the last published fdOutput of p (the empty set before the
+// process completes its first iteration).
+func (d *Detector) Output(p procset.ID) procset.Set { return d.outputs[p] }
+
+// Winnerset returns the last published winnerset of p.
+func (d *Detector) Winnerset(p procset.ID) procset.Set { return d.winners[p] }
+
+// Iterations returns the number of completed loop iterations of p.
+func (d *Detector) Iterations(p procset.ID) int { return d.iters[p] }
+
+// StableWinnerset reports whether every process in the given set currently
+// publishes the same nonempty winnerset, returning it when so.
+func (d *Detector) StableWinnerset(among procset.Set) (procset.Set, bool) {
+	var common procset.Set
+	first := true
+	for _, p := range among.Members() {
+		w := d.winners[p]
+		if w.IsEmpty() {
+			return procset.EmptySet, false
+		}
+		if first {
+			common, first = w, false
+		} else if w != common {
+			return procset.EmptySet, false
+		}
+	}
+	if first {
+		return procset.EmptySet, false
+	}
+	return common, true
+}

@@ -1,0 +1,324 @@
+package bg
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+func TestSafeAgreementSoloProposer(t *testing.T) {
+	t.Parallel()
+	n := 3
+	var got any
+	okFlag := false
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				sa := NewSafeAgreement(env, "solo")
+				if p == 1 {
+					sa.Propose("mine")
+					got, okFlag = sa.Resolve()
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	for !runner.Halted(1) {
+		runner.Step(1)
+	}
+	if !okFlag || got != "mine" {
+		t.Fatalf("solo resolve = (%v, %v), want (mine, true)", got, okFlag)
+	}
+}
+
+func TestSafeAgreementAgreementUnderContention(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			n := 4
+			results := make([]any, n+1)
+			runner, err := sim.NewRunner(sim.Config{
+				N: n,
+				Algorithm: func(p procset.ID) sim.Algorithm {
+					return func(env sim.Env) {
+						sa := NewSafeAgreement(env, "contend")
+						sa.Propose(int(p))
+						for {
+							if v, ok := sa.Resolve(); ok {
+								results[p] = v
+								return
+							}
+						}
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer runner.Close()
+			src, err := sched.Random(n, seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner.Run(src, 60_000, 20, func() bool {
+				for p := 1; p <= n; p++ {
+					if results[p] == nil {
+						return false
+					}
+				}
+				return true
+			})
+			var agreed any
+			for p := 1; p <= n; p++ {
+				if results[p] == nil {
+					t.Fatalf("p%d never resolved (wait-freedom with no crashes)", p)
+				}
+				if agreed == nil {
+					agreed = results[p]
+				} else if results[p] != agreed {
+					t.Fatalf("disagreement: %v vs %v", agreed, results[p])
+				}
+			}
+			if v := agreed.(int); v < 1 || v > n {
+				t.Fatalf("agreed value %v was never proposed", agreed)
+			}
+		})
+	}
+}
+
+func TestSafeAgreementDoorwayBlocks(t *testing.T) {
+	t.Parallel()
+	// Proposer 1 stalls inside the doorway (after its level-1 publish);
+	// Resolve by others must keep returning false — and must start
+	// succeeding if that never happens with a completed doorway instead.
+	n := 2
+	resolves := 0
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				sa := NewSafeAgreement(env, "blocked")
+				if p == 1 {
+					sa.Propose("late")
+					return
+				}
+				sa.Propose("p2")
+				for {
+					if _, ok := sa.Resolve(); ok {
+						resolves++
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	// p1 performs its level-1 Update (an update costs a scan of 2 segments =
+	// 4 reads, one read of its own segment, then 1 write = 6 steps) and then
+	// stalls before completing the doorway.
+	for i := 0; i < 6; i++ {
+		runner.Step(1)
+	}
+	for i := 0; i < 4000; i++ {
+		runner.Step(2)
+	}
+	if resolves != 0 {
+		t.Fatalf("Resolve succeeded %d times despite an open doorway", resolves)
+	}
+}
+
+func runSimulation(t *testing.T, m int, proto Protocol, src sched.Source, maxSteps int) *Simulation {
+	t.Helper()
+	s, err := New(m, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := sim.NewRunner(sim.Config{N: m, Algorithm: s.Algorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(runner.Close)
+	n := proto.Threads()
+	runner.Run(src, maxSteps, 100, func() bool { return s.DecidedThreads() == n })
+	return s
+}
+
+func TestSimulationFailureFree(t *testing.T) {
+	t.Parallel()
+	// m = 3 simulators run a 5-thread, f = 2 protocol: every thread decides,
+	// decisions are valid inputs with at most f+1 = 3 distinct values.
+	inputs := []int{0, 50, 20, 40, 10, 30}
+	proto, err := NewWaitMinProtocol(inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sched.RoundRobin(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runSimulation(t, 3, proto, src, 400_000)
+	if got := s.DecidedThreads(); got != 5 {
+		t.Fatalf("%d of 5 threads decided", got)
+	}
+	distinct := make(map[any]bool)
+	valid := map[int]bool{50: true, 20: true, 40: true, 10: true, 30: true}
+	for i := 1; i <= 5; i++ {
+		v, ok := s.ThreadDecision(i)
+		if !ok {
+			t.Fatalf("thread %d undecided", i)
+		}
+		if !valid[v.(int)] {
+			t.Errorf("thread %d decided %v, not an input", i, v)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) > 3 {
+		t.Errorf("%d distinct decisions, want ≤ f+1 = 3", len(distinct))
+	}
+	// Every simulator adopted some decision.
+	for p := procset.ID(1); p <= 3; p++ {
+		if _, ok := s.AdoptedDecision(p); !ok {
+			t.Errorf("simulator %v adopted nothing", p)
+		}
+	}
+}
+
+func TestSimulationPropertyII(t *testing.T) {
+	t.Parallel()
+	// With fair simulators and no crashes, the simulated schedule has every
+	// m-sized set of threads timely with respect to all threads — the
+	// property the Theorem 26(2) proof engineers by careful scheduling.
+	// Use a protocol that never decides so that the simulated schedule grows
+	// long enough to analyze.
+	inputs := []int{0, 1, 2, 3, 4}
+	proto, err := NewWaitMinProtocol(inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = 0: decide when all 4 inputs visible; to keep threads running,
+	// wrap the protocol so it never decides.
+	nd := neverDecide{proto}
+	src, err := sched.RoundRobin(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runSimulation(t, 3, nd, src, 300_000)
+	sim := s.SimulatedSchedule()
+	if len(sim) < 40 {
+		t.Fatalf("simulated schedule too short: %d", len(sim))
+	}
+	full := procset.FullSet(4)
+	for _, trio := range procset.KSubsets(4, 3) {
+		if !sched.IsTimely(sim, trio, full, 16) {
+			t.Errorf("thread set %v not timely in simulated schedule (bound %d needed)",
+				trio, sched.MinBound(sim, trio, full))
+		}
+	}
+}
+
+type neverDecide struct{ inner Protocol }
+
+func (n neverDecide) Threads() int                    { return n.inner.Threads() }
+func (n neverDecide) Init(i int) any                  { return n.inner.Init(i) }
+func (n neverDecide) WriteValue(i, r int, st any) any { return n.inner.WriteValue(i, r, st) }
+func (n neverDecide) OnView(i, r int, st any, v View) (any, bool, any) {
+	st2, _, _ := n.inner.OnView(i, r, st, v)
+	return st2, false, nil
+}
+
+func TestSimulationPropertyIWithCrashedSimulators(t *testing.T) {
+	t.Parallel()
+	// m = 3 simulators, two crash mid-run: at most m−1 = 2 threads block
+	// (each crashed simulator holds at most one safe-agreement doorway), so
+	// at least n−2 threads still decide — property (i) of Theorem 26(2).
+	inputs := []int{0, 7, 3, 9, 5, 1}
+	proto, err := NewWaitMinProtocol(inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		crashes := map[procset.ID]int{
+			1: 200 + int(seed*37),
+			2: 500 + int(seed*91),
+		}
+		src, err := sched.Random(3, seed, crashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := runSimulation(t, 3, proto, src, 400_000)
+		if got := s.DecidedThreads(); got < 3 {
+			t.Errorf("seed %d: only %d of 5 threads decided; ≥ 3 required by property (i)", seed, got)
+		}
+		distinct := make(map[any]bool)
+		for i := 1; i <= 5; i++ {
+			if v, ok := s.ThreadDecision(i); ok {
+				distinct[v] = true
+			}
+		}
+		if len(distinct) > 3 {
+			t.Errorf("seed %d: %d distinct decisions, want ≤ 3", seed, len(distinct))
+		}
+	}
+}
+
+func TestSimulationValidation(t *testing.T) {
+	t.Parallel()
+	proto, err := NewWaitMinProtocol([]int{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(0, proto); err == nil {
+		t.Error("m = 0 accepted")
+	}
+	if _, err := New(2, nil); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := NewWaitMinProtocol([]int{0}, 0); err == nil {
+		t.Error("zero-thread protocol accepted")
+	}
+	if _, err := NewWaitMinProtocol([]int{0, 1, 2}, 2); err == nil {
+		t.Error("f = n accepted")
+	}
+	if _, err := NewWaitMinProtocol([]int{0, 1, 2}, -1); err == nil {
+		t.Error("negative f accepted")
+	}
+}
+
+func TestSimulationStepsAccessors(t *testing.T) {
+	t.Parallel()
+	inputs := []int{0, 4, 2, 6}
+	proto, err := NewWaitMinProtocol(inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sched.RoundRobin(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runSimulation(t, 2, proto, src, 200_000)
+	steps := s.Steps()
+	if len(steps) == 0 {
+		t.Fatal("no recorded simulated steps")
+	}
+	seen := make(map[ThreadStep]bool)
+	for _, st := range steps {
+		if seen[st] {
+			t.Fatalf("duplicate simulated step %+v", st)
+		}
+		seen[st] = true
+		if st.Thread < 1 || st.Thread > 3 || st.Round < 1 {
+			t.Fatalf("bogus step %+v", st)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package bg
+
+import "fmt"
+
+// WaitMinProtocol is an n-thread protocol in write/snapshot normal form that
+// solves f-resilient (f+1)-set agreement in the snapshot model: every thread
+// repeatedly publishes its input and waits until its snapshot shows at least
+// n−f inputs, then decides the minimum input it sees. Because agreed views
+// are totally ordered by containment, the decided minima take at most f+1
+// distinct values (one per possible view size n−f .. n).
+//
+// It is the concrete protocol the experiments feed to the BG simulation: the
+// simulation by m = f+1 simulators reproduces the structure of the
+// Theorem 26(2) reduction.
+type WaitMinProtocol struct {
+	// Inputs holds the thread inputs, 1-based (Inputs[0] unused).
+	Inputs []int
+	// F is the resilience: threads decide once they see n−F inputs.
+	F int
+}
+
+// NewWaitMinProtocol builds the protocol for the given 1-based inputs.
+func NewWaitMinProtocol(inputs []int, f int) (*WaitMinProtocol, error) {
+	n := len(inputs) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("bg: WaitMinProtocol needs at least one thread")
+	}
+	if f < 0 || f >= n {
+		return nil, fmt.Errorf("bg: WaitMinProtocol f = %d out of range [0,%d]", f, n-1)
+	}
+	return &WaitMinProtocol{Inputs: inputs, F: f}, nil
+}
+
+// Threads implements Protocol.
+func (w *WaitMinProtocol) Threads() int { return len(w.Inputs) - 1 }
+
+// Init implements Protocol.
+func (w *WaitMinProtocol) Init(thread int) any { return nil }
+
+// WriteValue implements Protocol: every round republishes the input.
+func (w *WaitMinProtocol) WriteValue(thread, round int, state any) any {
+	return w.Inputs[thread]
+}
+
+// OnView implements Protocol: decide min once n−F inputs are visible.
+func (w *WaitMinProtocol) OnView(thread, round int, state any, view View) (any, bool, any) {
+	seen := 0
+	min := 0
+	first := true
+	for i := 1; i < len(view); i++ {
+		if view[i].Round == 0 {
+			continue
+		}
+		seen++
+		v := view[i].Val.(int)
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	if seen >= w.Threads()-w.F {
+		return state, true, min
+	}
+	return state, false, nil
+}

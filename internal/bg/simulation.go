@@ -1,0 +1,244 @@
+package bg
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+	"github.com/settimeliness/settimeliness/internal/snapshot"
+)
+
+// Entry is one thread's latest simulated write: the round it belongs to and
+// the value written. Round 0 means the thread has not written yet.
+type Entry struct {
+	Round int
+	Val   any
+}
+
+// View is the agreed simulated snapshot handed to a thread: Entry per
+// thread, indexed 1..Threads() (index 0 unused).
+type View []Entry
+
+// Protocol is a deterministic n-thread protocol in write/snapshot normal
+// form: in every round each thread publishes WriteValue and then consumes an
+// atomic snapshot of all threads' latest published values. Determinism is
+// essential: every simulator must compute identical write values from the
+// agreed views.
+type Protocol interface {
+	// Threads returns the number of simulated threads n.
+	Threads() int
+	// Init returns thread i's initial state.
+	Init(thread int) any
+	// WriteValue returns the value thread i publishes in the given round
+	// (1-based), as a function of its current state only.
+	WriteValue(thread, round int, state any) any
+	// OnView consumes the agreed snapshot for the round and returns the next
+	// state, and optionally a decision (decided=true ends the thread).
+	OnView(thread, round int, state any, view View) (newState any, decided bool, decision any)
+}
+
+// ThreadStep records one completed simulated step (a resolved round) in
+// real-time (first-resolution) order.
+type ThreadStep struct {
+	Thread int
+	Round  int
+}
+
+// Simulation coordinates m simulators (the processes of the runner) that
+// jointly execute the protocol's n threads. Harness-visible state follows
+// the simulator package's between-steps inspection contract.
+type Simulation struct {
+	m     int
+	proto Protocol
+
+	threadDecisions []any        // first decision per thread (1-based)
+	simAdopted      []any        // first decision observed per simulator (1-based)
+	steps           []ThreadStep // first-resolution order
+	resolved        map[ThreadStep]bool
+}
+
+// New builds a simulation with m simulators.
+func New(m int, proto Protocol) (*Simulation, error) {
+	if m < 1 || m > procset.MaxProcs {
+		return nil, fmt.Errorf("bg: m = %d simulators out of range [1,%d]", m, procset.MaxProcs)
+	}
+	if proto == nil {
+		return nil, fmt.Errorf("bg: nil protocol")
+	}
+	n := proto.Threads()
+	if n < 1 || n > procset.MaxProcs {
+		return nil, fmt.Errorf("bg: protocol has %d threads, out of range [1,%d]", n, procset.MaxProcs)
+	}
+	return &Simulation{
+		m:               m,
+		proto:           proto,
+		threadDecisions: make([]any, n+1),
+		simAdopted:      make([]any, m+1),
+		resolved:        make(map[ThreadStep]bool),
+	}, nil
+}
+
+// ThreadDecision returns thread i's decision, if the simulation reached one.
+func (s *Simulation) ThreadDecision(i int) (any, bool) {
+	v := s.threadDecisions[i]
+	return v, v != nil
+}
+
+// DecidedThreads returns how many threads have decided.
+func (s *Simulation) DecidedThreads() int {
+	c := 0
+	for i := 1; i < len(s.threadDecisions); i++ {
+		if s.threadDecisions[i] != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// AdoptedDecision returns the decision simulator p adopted (the first thread
+// decision it observed), if any.
+func (s *Simulation) AdoptedDecision(p procset.ID) (any, bool) {
+	v := s.simAdopted[p]
+	return v, v != nil
+}
+
+// SimulatedSchedule returns the simulated threads' step sequence (thread ids
+// as process ids), in first-resolution order. Property (ii) of Theorem
+// 26(2) is checked against this schedule.
+func (s *Simulation) SimulatedSchedule() sched.Schedule {
+	out := make(sched.Schedule, len(s.steps))
+	for i, st := range s.steps {
+		out[i] = procset.ID(st.Thread)
+	}
+	return out
+}
+
+// Steps returns the recorded (thread, round) completions in order.
+func (s *Simulation) Steps() []ThreadStep { return append([]ThreadStep(nil), s.steps...) }
+
+func (s *Simulation) recordResolution(i, r int, decided bool, decision any, p procset.ID) {
+	key := ThreadStep{Thread: i, Round: r}
+	if !s.resolved[key] {
+		s.resolved[key] = true
+		s.steps = append(s.steps, key)
+	}
+	if decided && s.threadDecisions[i] == nil {
+		s.threadDecisions[i] = decision
+	}
+	if decided && s.simAdopted[p] == nil {
+		s.simAdopted[p] = decision
+	}
+}
+
+// threadPhase is the simulator-local progress marker for one thread.
+type threadPhase int
+
+const (
+	phaseWrite   threadPhase = iota // must publish the round's write value
+	phaseResolve                    // proposed; awaiting safe agreement
+	phaseDone                       // thread decided
+)
+
+// Algorithm returns the code of simulator p, suitable for a sim.Runner of
+// size m. Simulators communicate exclusively through shared memory: a
+// snapshot object carrying each simulator's merged knowledge of thread
+// writes, and one safe agreement object per (thread, round).
+func (s *Simulation) Algorithm(p procset.ID) sim.Algorithm {
+	return func(env sim.Env) {
+		if env.N() != s.m {
+			panic(fmt.Sprintf("bg: runner has n = %d, want m = %d simulators", env.N(), s.m))
+		}
+		n := s.proto.Threads()
+		mem := snapshot.New(env, "bg.mem")
+		sas := make(map[ThreadStep]*SafeAgreement)
+		saFor := func(i, r int) *SafeAgreement {
+			key := ThreadStep{Thread: i, Round: r}
+			sa, ok := sas[key]
+			if !ok {
+				sa = NewSafeAgreement(env, fmt.Sprintf("bg[%d,%d]", i, r))
+				sas[key] = sa
+			}
+			return sa
+		}
+
+		know := make(View, n+1)
+		states := make([]any, n+1)
+		round := make([]int, n+1)
+		phase := make([]threadPhase, n+1)
+		for i := 1; i <= n; i++ {
+			states[i] = s.proto.Init(i)
+			round[i] = 1
+		}
+
+		publish := func() {
+			cp := make(View, len(know))
+			copy(cp, know)
+			mem.Update(cp)
+		}
+		// absorb merges the freshest knowledge per thread from a scanned
+		// snapshot of all simulators' published views.
+		absorb := func(v snapshot.View) {
+			for q := 1; q <= s.m; q++ {
+				other, ok := v.Get(procset.ID(q)).(View)
+				if !ok {
+					continue
+				}
+				for i := 1; i <= n; i++ {
+					if other[i].Round > know[i].Round {
+						know[i] = other[i]
+					}
+				}
+			}
+		}
+
+		for {
+			allDone := true
+			for i := 1; i <= n; i++ {
+				switch phase[i] {
+				case phaseDone:
+					continue
+				case phaseWrite:
+					allDone = false
+					wv := s.proto.WriteValue(i, round[i], states[i])
+					if know[i].Round < round[i] {
+						know[i] = Entry{Round: round[i], Val: wv}
+					}
+					publish()
+					absorb(mem.Scan())
+					merged := make(View, len(know))
+					copy(merged, know)
+					saFor(i, round[i]).Propose(merged)
+					phase[i] = phaseResolve
+					fallthrough
+				case phaseResolve:
+					allDone = false
+					agreed, ok := saFor(i, round[i]).Resolve()
+					if !ok {
+						continue // blocked for now; advance other threads
+					}
+					view := agreed.(View)
+					// Fold the agreed view into local knowledge so later
+					// write values reflect it deterministically.
+					for j := 1; j <= n; j++ {
+						if view[j].Round > know[j].Round {
+							know[j] = view[j]
+						}
+					}
+					st, decided, decision := s.proto.OnView(i, round[i], states[i], view)
+					states[i] = st
+					s.recordResolution(i, round[i], decided, decision, p)
+					if decided {
+						phase[i] = phaseDone
+						continue
+					}
+					round[i]++
+					phase[i] = phaseWrite
+				}
+			}
+			if allDone {
+				return
+			}
+		}
+	}
+}

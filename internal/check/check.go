@@ -1,0 +1,84 @@
+// Package check verifies the three defining properties of
+// (t,k,n)-agreement (§3 of the paper) on completed runs, independently of
+// which algorithm produced them. It is used by tests, by the experiment
+// harness, and by the command-line tools.
+package check
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// AgreementRun captures everything needed to verify one run.
+type AgreementRun struct {
+	// N, K, T are the problem parameters.
+	N, K, T int
+	// Proposals maps every process to its initial value.
+	Proposals map[procset.ID]any
+	// Decisions maps processes to decided values; undecided processes are
+	// absent. Decisions of faulty processes count (the properties are
+	// uniform).
+	Decisions map[procset.ID]any
+	// Correct is the set of processes that are correct in the schedule.
+	Correct procset.Set
+}
+
+// Violations returns all property violations of the run; an empty slice
+// means the run satisfies (t,k,n)-agreement. Termination is only required
+// when the number of faulty processes is at most T.
+func (r AgreementRun) Violations() []error {
+	var errs []error
+
+	// Uniform k-agreement.
+	distinct := make(map[any]bool)
+	for _, v := range r.Decisions {
+		distinct[v] = true
+	}
+	if len(distinct) > r.K {
+		errs = append(errs, fmt.Errorf(
+			"uniform k-agreement violated: %d distinct decisions, allowed %d", len(distinct), r.K))
+	}
+
+	// Uniform validity.
+	initial := make(map[any]bool, len(r.Proposals))
+	for _, v := range r.Proposals {
+		initial[v] = true
+	}
+	for p, v := range r.Decisions {
+		if !initial[v] {
+			errs = append(errs, fmt.Errorf(
+				"uniform validity violated: %v decided %v, which no process proposed", p, v))
+		}
+	}
+
+	// Termination (conditional on the crash budget).
+	faulty := r.N - r.Correct.Size()
+	if faulty <= r.T {
+		for _, p := range r.Correct.Members() {
+			if _, ok := r.Decisions[p]; !ok {
+				errs = append(errs, fmt.Errorf(
+					"termination violated: correct %v undecided with %d ≤ t = %d faults", p, faulty, r.T))
+			}
+		}
+	}
+	return errs
+}
+
+// SafetyViolations returns only the safety violations (k-agreement and
+// validity), ignoring termination. Used for adversarial runs where
+// termination is not expected.
+func (r AgreementRun) SafetyViolations() []error {
+	relaxed := r
+	relaxed.T = -1 // no crash budget is ≤ -1, so termination is never required
+	return relaxed.Violations()
+}
+
+// Verify returns an error summarizing all violations, or nil.
+func (r AgreementRun) Verify() error {
+	errs := r.Violations()
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("agreement run invalid: %v", errs)
+}

@@ -1,0 +1,103 @@
+package check
+
+import (
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+func baseRun() AgreementRun {
+	return AgreementRun{
+		N: 4, K: 2, T: 2,
+		Proposals: map[procset.ID]any{1: "a", 2: "b", 3: "c", 4: "d"},
+		Decisions: map[procset.ID]any{1: "a", 2: "a", 3: "b"},
+		Correct:   procset.MakeSet(1, 2, 3),
+	}
+}
+
+func TestValidRunPasses(t *testing.T) {
+	t.Parallel()
+	if err := baseRun().Verify(); err != nil {
+		t.Errorf("valid run rejected: %v", err)
+	}
+}
+
+func TestKAgreementViolation(t *testing.T) {
+	t.Parallel()
+	r := baseRun()
+	r.Decisions[3] = "c"
+	r.Decisions[4] = "d" // 3 distinct > k = 2; decider 4 is faulty but counts
+	errs := r.Violations()
+	if len(errs) != 1 {
+		t.Fatalf("violations = %v", errs)
+	}
+}
+
+func TestUniformityCountsFaultyDecisions(t *testing.T) {
+	t.Parallel()
+	// Only faulty p4's decision pushes the count over k: still a violation
+	// (the properties are uniform).
+	r := baseRun()
+	r.Decisions = map[procset.ID]any{1: "a", 2: "b", 4: "d"}
+	r.Correct = procset.MakeSet(1, 2)
+	if errs := r.Violations(); len(errs) == 0 {
+		t.Fatal("uniform k-agreement violation missed")
+	}
+}
+
+func TestValidityViolation(t *testing.T) {
+	t.Parallel()
+	r := baseRun()
+	r.Decisions[2] = "zz"
+	found := false
+	for _, err := range r.Violations() {
+		if err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("validity violation missed")
+	}
+}
+
+func TestTerminationViolationWithinBudget(t *testing.T) {
+	t.Parallel()
+	r := baseRun()
+	delete(r.Decisions, 3) // correct p3 undecided, only 1 fault ≤ t
+	if errs := r.Violations(); len(errs) != 1 {
+		t.Fatalf("violations = %v", errs)
+	}
+}
+
+func TestTerminationWaivedBeyondBudget(t *testing.T) {
+	t.Parallel()
+	r := baseRun()
+	r.Correct = procset.MakeSet(1) // 3 faults > t = 2
+	r.Decisions = map[procset.ID]any{}
+	if errs := r.Violations(); len(errs) != 0 {
+		t.Fatalf("termination demanded beyond the crash budget: %v", errs)
+	}
+}
+
+func TestSafetyViolationsIgnoreTermination(t *testing.T) {
+	t.Parallel()
+	r := baseRun()
+	r.Decisions = map[procset.ID]any{} // nobody decided
+	if errs := r.SafetyViolations(); len(errs) != 0 {
+		t.Fatalf("safety check includes termination: %v", errs)
+	}
+	r.Decisions = map[procset.ID]any{1: "zz"}
+	if errs := r.SafetyViolations(); len(errs) != 1 {
+		t.Fatalf("safety check missed validity: %v", errs)
+	}
+}
+
+func TestEmptyDecisionsIsSafe(t *testing.T) {
+	t.Parallel()
+	r := baseRun()
+	r.Decisions = nil
+	r.Correct = procset.EmptySet // everyone crashed: nothing required
+	if err := r.Verify(); err != nil {
+		t.Errorf("empty run rejected: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+package commitadopt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+type result struct {
+	commit bool
+	val    any
+}
+
+// runCA has every process propose its own value (or a common one) on the
+// given schedule and returns the per-process results.
+func runCA(t *testing.T, n int, src sched.Source, maxSteps int, proposal func(procset.ID) any) []result {
+	t.Helper()
+	results := make([]result, n+1)
+	done := make([]bool, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				o := New(env, "obj")
+				c, v := o.Propose(proposal(p))
+				results[p] = result{commit: c, val: v}
+				done[p] = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(runner.Close)
+	runner.Run(src, maxSteps, 10, func() bool {
+		for p := 1; p <= n; p++ {
+			if !done[p] {
+				return false
+			}
+		}
+		return true
+	})
+	for p := 1; p <= n; p++ {
+		if !done[p] {
+			t.Fatalf("p%d did not finish Propose (wait-freedom violated)", p)
+		}
+	}
+	return results
+}
+
+func TestConvergenceAllSame(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 10; seed++ {
+		src, err := sched.Random(4, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := runCA(t, 4, src, 50_000, func(procset.ID) any { return "same" })
+		for p := 1; p <= 4; p++ {
+			if !results[p].commit || results[p].val != "same" {
+				t.Fatalf("seed %d: p%d got %+v, want commit same", seed, p, results[p])
+			}
+		}
+	}
+}
+
+func TestAgreementOnCommit(t *testing.T) {
+	t.Parallel()
+	// Mixed proposals under many schedules: whenever anyone commits u,
+	// every result must carry u; all values must be proposals.
+	for seed := int64(0); seed < 40; seed++ {
+		src, err := sched.Random(3, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := runCA(t, 3, src, 50_000, func(p procset.ID) any { return int(p) })
+		var committed any
+		for p := 1; p <= 3; p++ {
+			r := results[p]
+			if v := r.val.(int); v < 1 || v > 3 {
+				t.Fatalf("seed %d: p%d returned non-proposal %v", seed, p, v)
+			}
+			if r.commit {
+				if committed != nil && committed != r.val {
+					t.Fatalf("seed %d: two commits disagree: %v vs %v", seed, committed, r.val)
+				}
+				committed = r.val
+			}
+		}
+		if committed != nil {
+			for p := 1; p <= 3; p++ {
+				if results[p].val != committed {
+					t.Fatalf("seed %d: p%d carries %v but %v was committed",
+						seed, p, results[p].val, committed)
+				}
+			}
+		}
+	}
+}
+
+func TestSoloProposerCommits(t *testing.T) {
+	t.Parallel()
+	src, err := sched.RoundRobin(3, map[procset.ID]int{2: 0, 3: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]result, 4)
+	done := false
+	runner, err := sim.NewRunner(sim.Config{
+		N: 3,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				if p != 1 {
+					return
+				}
+				o := New(env, "solo")
+				c, v := o.Propose("only")
+				results[1] = result{c, v}
+				done = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	runner.Run(src, 1000, 1, func() bool { return done })
+	if !results[1].commit || results[1].val != "only" {
+		t.Fatalf("solo proposer got %+v", results[1])
+	}
+}
+
+func TestProposeTwicePanics(t *testing.T) {
+	t.Parallel()
+	runner, err := sim.NewRunner(sim.Config{
+		N: 2,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				o := New(env, "twice")
+				o.Propose(1)
+				defer func() {
+					if recover() != nil {
+						env.Write(env.Reg("panicked"), true)
+					}
+				}()
+				o.Propose(2)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	var last sim.StepInfo
+	for i := 0; i < 100 && last.Reg != "panicked"; i++ {
+		last = runner.Step(1)
+	}
+	if last.Reg != "panicked" {
+		t.Fatal("second Propose did not panic")
+	}
+}
+
+func TestConsensusChainStableLeader(t *testing.T) {
+	t.Parallel()
+	// Leader p1 attempts; others poll. Everyone must decide p1's value.
+	n := 4
+	decisions := make([]any, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				c := NewConsensus(env, "chain")
+				for {
+					if d, ok := c.CheckDecision(); ok {
+						decisions[p] = d
+						return
+					}
+					if p == 1 {
+						if d, ok := c.Attempt(fmt.Sprintf("v%d", p)); ok {
+							decisions[p] = d
+							return
+						}
+					}
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	src, err := sched.RoundRobin(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Run(src, 100_000, 10, func() bool {
+		for p := 1; p <= n; p++ {
+			if decisions[p] == nil {
+				return false
+			}
+		}
+		return true
+	})
+	for p := 1; p <= n; p++ {
+		if decisions[p] != "v1" {
+			t.Fatalf("p%d decided %v, want v1", p, decisions[p])
+		}
+	}
+}
+
+func TestConsensusChainSafetyUnderContention(t *testing.T) {
+	t.Parallel()
+	// Everyone attempts forever: agreement and validity must hold on every
+	// schedule even if no one ever commits.
+	n := 3
+	for seed := int64(0); seed < 25; seed++ {
+		decisions := make([]any, n+1)
+		runner, err := sim.NewRunner(sim.Config{
+			N: n,
+			Algorithm: func(p procset.ID) sim.Algorithm {
+				return func(env sim.Env) {
+					c := NewConsensus(env, "contend")
+					for {
+						if d, ok := c.CheckDecision(); ok {
+							decisions[p] = d
+							return
+						}
+						if d, ok := c.Attempt(100 + int(p)); ok {
+							decisions[p] = d
+							return
+						}
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := sched.Random(n, seed, nil)
+		if err != nil {
+			runner.Close()
+			t.Fatal(err)
+		}
+		runner.Run(src, 30_000, 20, func() bool {
+			for p := 1; p <= n; p++ {
+				if decisions[p] == nil {
+					return false
+				}
+			}
+			return true
+		})
+		var agreed any
+		for p := 1; p <= n; p++ {
+			d := decisions[p]
+			if d == nil {
+				continue
+			}
+			if v := d.(int); v < 101 || v > 103 {
+				t.Fatalf("seed %d: p%d decided non-proposal %v", seed, p, v)
+			}
+			if agreed == nil {
+				agreed = d
+			} else if d != agreed {
+				t.Fatalf("seed %d: disagreement %v vs %v", seed, agreed, d)
+			}
+		}
+		runner.Close()
+	}
+}
+
+func TestNilProposalPanics(t *testing.T) {
+	t.Parallel()
+	runner, err := sim.NewRunner(sim.Config{
+		N: 2,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				defer func() {
+					if recover() != nil {
+						env.Write(env.Reg("panicked"), true)
+					}
+				}()
+				New(env, "nilcheck").Propose(nil)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	if info := runner.Step(1); info.Reg != "panicked" {
+		t.Fatalf("nil proposal did not panic: %+v", info)
+	}
+}

@@ -1,0 +1,54 @@
+package consensus
+
+import (
+	"strings"
+)
+
+// This file exposes read-only instrumentation over the register traffic of
+// consensus instances. The adaptive adversaries used by the impossibility
+// experiments (internal/adversary) watch the simulator's StepInfo stream and
+// need to recognize ballot-block writes and decision writes without access
+// to the instances' private state.
+
+// RegisterKind classifies a consensus register by name.
+type RegisterKind int
+
+// Register kinds.
+const (
+	RegisterUnknown  RegisterKind = iota
+	RegisterBallot                // a per-process X register
+	RegisterDecision              // the instance's decision register D
+)
+
+// ParseRegister reports whether the register name belongs to a consensus
+// instance, and if so which instance and which kind of register it is.
+// Instance names may themselves contain brackets (e.g. "kset[0]"), so the
+// instance is delimited by the last "]." separator, not the first "]".
+func ParseRegister(name string) (instance string, kind RegisterKind) {
+	const prefix = "consensus["
+	if !strings.HasPrefix(name, prefix) {
+		return "", RegisterUnknown
+	}
+	rest := name[len(prefix):]
+	switch {
+	case strings.HasSuffix(rest, "].D"):
+		return rest[:len(rest)-len("].D")], RegisterDecision
+	default:
+		if idx := strings.LastIndex(rest, "].X["); idx >= 0 && strings.HasSuffix(rest, "]") {
+			return rest[:idx], RegisterBallot
+		}
+		return "", RegisterUnknown
+	}
+}
+
+// BlockInfo extracts the ballot numbers from a value written to an X
+// register. phase2 reports whether the write opens phase 2 of its ballot
+// (Bal caught up with MBal), which is the last step after which the writer
+// could still reach the decision write of that ballot.
+func BlockInfo(v any) (mbal, bal int, phase2, ok bool) {
+	b, isBlock := v.(xblock)
+	if !isBlock {
+		return 0, 0, false, false
+	}
+	return b.MBal, b.Bal, b.Bal == b.MBal && b.MBal > 0, true
+}

@@ -1,0 +1,48 @@
+package consensus
+
+import "testing"
+
+func TestParseRegister(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name     string
+		instance string
+		kind     RegisterKind
+	}{
+		{"consensus[kset[0]].X[1]", "kset[0]", RegisterBallot},
+		{"consensus[kset[12]].X[64]", "kset[12]", RegisterBallot},
+		{"consensus[kset[0]].D", "kset[0]", RegisterDecision},
+		{"consensus[plain].D", "plain", RegisterDecision},
+		{"consensus[plain].X[3]", "plain", RegisterBallot},
+		{"Heartbeat[3]", "", RegisterUnknown},
+		{"consensus[broken", "", RegisterUnknown},
+		{"consensus[x].Y[1]", "", RegisterUnknown},
+		{"ca[obj].A[1]", "", RegisterUnknown},
+	}
+	for _, tc := range tests {
+		instance, kind := ParseRegister(tc.name)
+		if instance != tc.instance || kind != tc.kind {
+			t.Errorf("ParseRegister(%q) = (%q, %v), want (%q, %v)",
+				tc.name, instance, kind, tc.instance, tc.kind)
+		}
+	}
+}
+
+func TestBlockInfo(t *testing.T) {
+	t.Parallel()
+	if _, _, _, ok := BlockInfo("not a block"); ok {
+		t.Error("BlockInfo accepted a string")
+	}
+	mbal, bal, phase2, ok := BlockInfo(xblock{MBal: 7, Bal: 3, Inp: "v"})
+	if !ok || mbal != 7 || bal != 3 || phase2 {
+		t.Errorf("phase-1 block = (%d,%d,%v,%v)", mbal, bal, phase2, ok)
+	}
+	mbal, bal, phase2, ok = BlockInfo(xblock{MBal: 7, Bal: 7, Inp: "v"})
+	if !ok || mbal != 7 || bal != 7 || !phase2 {
+		t.Errorf("phase-2 block = (%d,%d,%v,%v)", mbal, bal, phase2, ok)
+	}
+	// The zero block is not a phase-2 write.
+	if _, _, phase2, _ := BlockInfo(xblock{}); phase2 {
+		t.Error("zero block classified as phase-2")
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"github.com/settimeliness/settimeliness/internal/antiomega"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+// e2Case is one (n,k,t) × crash-pattern configuration for Theorem 23.
+type e2Case struct {
+	name    string
+	cfg     antiomega.Config
+	crashes map[procset.ID]int
+}
+
+func e2Cases(quick bool) []e2Case {
+	cases := []e2Case{
+		{"n4 k2 t2, failure-free", antiomega.Config{N: 4, K: 2, T: 2}, nil},
+		{"n4 k2 t2, 2 crashes", antiomega.Config{N: 4, K: 2, T: 2}, map[procset.ID]int{3: 0, 4: 120}},
+		{"n5 k1 t1 (Ω), 1 crash", antiomega.Config{N: 5, K: 1, T: 1}, map[procset.ID]int{2: 40}},
+		{"n5 k2 t3, 3 crashes", antiomega.Config{N: 5, K: 2, T: 3}, map[procset.ID]int{1: 10, 2: 0, 5: 70}},
+	}
+	if quick {
+		return cases[:2]
+	}
+	return append(cases,
+		e2Case{"n6 k3 t3, 1 crash", antiomega.Config{N: 6, K: 3, T: 3}, map[procset.ID]int{6: 0}},
+		e2Case{"n4 k3 t3 (anti-Ω), 3 crashes", antiomega.Config{N: 4, K: 3, T: 3}, map[procset.ID]int{1: 0, 2: 0, 4: 25}},
+		e2Case{"n7 k2 t2, failure-free", antiomega.Config{N: 7, K: 2, T: 2}, nil},
+	)
+}
+
+// runE2 validates Theorem 23: in S^k_{t+1,n} with ≤ t crashes the Figure 2
+// algorithm converges to a common winnerset containing a correct process and
+// satisfies the t-resilient k-anti-Ω property.
+func runE2(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E2",
+		Title: "Figure 2 + Theorem 23: t-resilient k-anti-Ω in S^k_{t+1,n}",
+		Claim: "detector output stabilizes; some correct process is eventually excluded from every correct output",
+	}
+	budget := 1_500_000
+	seeds := []int64{1, 2, 3}
+	if cfg.Quick {
+		budget = 600_000
+		seeds = seeds[:1]
+	}
+	tb := trace.NewTable("Theorem 23 runs (bound 4 conformant schedules)",
+		"case", "seed", "crashes", "stable", "winnerset", "witness", "stableFrom", "property")
+	pass := true
+	var convSteps []int
+	for _, c := range e2Cases(cfg.Quick) {
+		for _, seed := range seeds {
+			src, _, err := sched.System(c.cfg.N, c.cfg.K, c.cfg.T+1, 4, cfg.Seed+seed, c.crashes)
+			if err != nil {
+				return nil, err
+			}
+			run, err := driveDetector(c.cfg, src, budget)
+			if err != nil {
+				return nil, err
+			}
+			witness := "-"
+			if run.Verdict.Holds {
+				witness = run.Verdict.Witness.String()
+				convSteps = append(convSteps, run.Verdict.StableFrom)
+			}
+			tb.AddRow(c.name, seed, crashSuffix(c.crashes), boolMark(run.Stable),
+				run.Winnerset, witness, run.Verdict.StableFrom, boolMark(run.Verdict.Holds))
+			if !run.Stable || !run.Verdict.Holds {
+				pass = false
+			}
+			correct := src.Correct()
+			if run.Winnerset.Intersect(correct).IsEmpty() {
+				pass = false
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes, "stabilization step over all runs: "+trace.Summarize(convSteps).String())
+	res.Pass = pass
+	return res, nil
+}

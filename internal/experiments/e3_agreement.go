@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+type e3Case struct {
+	name    string
+	cfg     kset.Config
+	crashes map[procset.ID]int
+}
+
+func e3Cases(quick bool) []e3Case {
+	cases := []e3Case{
+		{"n3 k1 t1 (consensus)", kset.Config{N: 3, K: 1, T: 1}, map[procset.ID]int{3: 30}},
+		{"n4 k2 t2", kset.Config{N: 4, K: 2, T: 2}, map[procset.ID]int{3: 0, 4: 100}},
+		{"n4 k3 t2 (trivial)", kset.Config{N: 4, K: 3, T: 2}, map[procset.ID]int{1: 5, 2: 9}},
+	}
+	if quick {
+		return cases
+	}
+	return append(cases,
+		e3Case{"n5 k2 t3", kset.Config{N: 5, K: 2, T: 3}, map[procset.ID]int{1: 40, 4: 0, 5: 90}},
+		e3Case{"n5 k4 t4 (set agreement)", kset.Config{N: 5, K: 4, T: 4}, map[procset.ID]int{1: 0, 2: 0, 3: 0, 4: 12}},
+		e3Case{"n6 k2 t2", kset.Config{N: 6, K: 2, T: 2}, map[procset.ID]int{6: 0}},
+	)
+}
+
+// runE3 validates Theorem 24 / Corollary 25 end to end: in S^k_{t+1,n} with
+// at most t crashes, every correct process decides, decisions are proposals,
+// and at most k distinct values are decided.
+func runE3(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E3",
+		Title: "Theorem 24 / Corollary 25: (t,k,n)-agreement in S^k_{t+1,n}",
+		Claim: "all three agreement properties hold; decision latency is finite",
+	}
+	budget := 3_000_000
+	seeds := []int64{11, 12}
+	if cfg.Quick {
+		budget = 2_000_000
+		seeds = seeds[:1]
+	}
+	tb := trace.NewTable("Theorem 24 runs",
+		"case", "seed", "crashes", "allDecided", "distinct", "k", "firstDecideStep", "lastDecideStep", "properties")
+	pass := true
+	var latencies []int
+	for _, c := range e3Cases(cfg.Quick) {
+		for _, seed := range seeds {
+			var (
+				src sched.Source
+				err error
+			)
+			if c.cfg.UsesTrivialAlgorithm() {
+				src, err = sched.Random(c.cfg.N, cfg.Seed+seed, c.crashes)
+			} else {
+				src, _, err = sched.System(c.cfg.N, c.cfg.K, c.cfg.T+1, 4, cfg.Seed+seed, c.crashes)
+			}
+			if err != nil {
+				return nil, err
+			}
+			run, err := driveAgreement(c.cfg, src, budget)
+			if err != nil {
+				return nil, err
+			}
+			ok := run.AllDecided && len(run.Violations) == 0
+			tb.AddRow(c.name, seed, crashSuffix(c.crashes), boolMark(run.AllDecided),
+				run.Distinct, c.cfg.K, run.FirstDecide, run.LastDecide,
+				boolMark(len(run.Violations) == 0))
+			if !ok {
+				pass = false
+			}
+			if run.LastDecide >= 0 {
+				latencies = append(latencies, run.LastDecide)
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.Notes = append(res.Notes, "steps until last correct decision: "+trace.Summarize(latencies).String())
+	res.Pass = pass
+	return res, nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/antiomega"
+	"github.com/settimeliness/settimeliness/internal/bg"
+	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+// runE4 exercises Theorem 26 at several (k, n):
+//
+//	(a) positive: (k,k,n)-agreement decides in S^k_{n,n};
+//	(b) negative: under the rotating starver — a failure-free schedule of
+//	    S^{k+1}_{n,n} in which no k-set is timely — the detector never
+//	    stabilizes and no process decides within a large horizon, while
+//	    safety is never violated (the impossibility is a theorem; the run
+//	    shows our solver failing exactly where it must);
+//	(c) the reduction gadget: a BG simulation by m = k+1 simulators whose
+//	    simulated schedule satisfies properties (i) (at most k simulated
+//	    crashes) and (ii) (every (k+1)-set of threads timely w.r.t. all).
+func runE4(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E4",
+		Title: "Theorem 26: separation at (k,k,n)",
+		Claim: "S^k_{n,n} solves (k,k,n); S^{k+1}_{n,n} defeats it; the BG reduction exhibits properties (i) and (ii)",
+	}
+	type pair struct{ k, n int }
+	pairs := []pair{{1, 3}, {2, 4}}
+	posBudget, negBudget := 2_000_000, 400_000
+	if cfg.Quick {
+		pairs = pairs[:1]
+		posBudget, negBudget = 1_000_000, 200_000
+	}
+	pass := true
+
+	tb := trace.NewTable("Theorem 26 (a)+(b): solvable vs adversarial",
+		"k", "n", "system", "schedule", "allDecided", "distinct", "safety", "verdict")
+	for _, pr := range pairs {
+		// (a) positive: S^k_{n,n} (j = n ≥ k+1 = t+1, so the matching
+		// construction applies through Observation 7).
+		kcfg := kset.Config{N: pr.n, K: pr.k, T: pr.k}
+		src, _, err := sched.System(pr.n, pr.k, pr.n, 4, cfg.Seed+31, nil)
+		if err != nil {
+			return nil, err
+		}
+		run, err := driveAgreement(kcfg, src, posBudget)
+		if err != nil {
+			return nil, err
+		}
+		okPos := run.AllDecided && len(run.Violations) == 0
+		tb.AddRow(pr.k, pr.n, fmt.Sprintf("S^%d_{%d,%d}", pr.k, pr.n, pr.n), "conformant random",
+			boolMark(run.AllDecided), run.Distinct, boolMark(len(run.SafetyErrors) == 0), boolMark(okPos))
+		if !okPos {
+			pass = false
+		}
+
+		// (b1) negative, detector level: the rotating starver is a
+		// failure-free schedule of S^{k+1}_{n,n} in which no k-set is
+		// timely; Figure 2 must keep churning on it (output changes never
+		// cease — here, still present in the last half of the horizon).
+		starver, err := sched.RotatingStarver(pr.n, pr.k, 2)
+		if err != nil {
+			return nil, err
+		}
+		churn, err := driveDetectorChurn(antiomega.Config{N: pr.n, K: pr.k, T: pr.k}, starver, negBudget)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(pr.k, pr.n, fmt.Sprintf("S^%d_{%d,%d}", pr.k+1, pr.n, pr.n), "rotating starver (detector)",
+			"n/a", fmt.Sprintf("%d output flips", churn.LastHalfChanges), "yes", boolMark(!churn.SettledLastHalf))
+		if churn.SettledLastHalf {
+			pass = false
+		}
+
+		// (b2) negative, agreement level: the adaptive parking adversary
+		// keeps the schedule inside S^{k+1}_{n,n} (at most k processes
+		// parked at a time, everyone correct) while preventing every
+		// decision write; the solver must not terminate and must stay safe.
+		nrun, _, err := driveAgreementAdversarial(kcfg, procset.EmptySet, negBudget)
+		if err != nil {
+			return nil, err
+		}
+		okNeg := !nrun.AllDecided && len(nrun.SafetyErrors) == 0
+		tb.AddRow(pr.k, pr.n, fmt.Sprintf("S^%d_{%d,%d}", pr.k+1, pr.n, pr.n), "parking adversary",
+			boolMark(nrun.AllDecided), nrun.Distinct, boolMark(len(nrun.SafetyErrors) == 0), boolMark(okNeg))
+		if !okNeg {
+			pass = false
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+
+	// (c) BG reduction: m = k+1 simulators over an n-thread write/snapshot
+	// protocol; verify decided-thread count (property i) and thread-set
+	// timeliness of the simulated schedule (property ii).
+	bgTb := trace.NewTable("Theorem 26 (c): BG simulation reduction",
+		"m (simulators)", "threads", "simCrashes", "threadsDecided", "distinct", "prop(i)", "prop(ii) bound")
+	type bgCase struct {
+		m, threads int
+		crashes    map[procset.ID]int
+	}
+	bgCases := []bgCase{
+		{3, 5, nil},
+		{3, 5, map[procset.ID]int{1: 300, 3: 800}},
+	}
+	if cfg.Quick {
+		bgCases = bgCases[:1]
+	}
+	for _, bc := range bgCases {
+		inputs := make([]int, bc.threads+1)
+		for i := 1; i <= bc.threads; i++ {
+			inputs[i] = i * 10
+		}
+		proto, err := bg.NewWaitMinProtocol(inputs, bc.m-1)
+		if err != nil {
+			return nil, err
+		}
+		simn, err := bg.New(bc.m, proto)
+		if err != nil {
+			return nil, err
+		}
+		runner, err := sim.NewRunner(sim.Config{N: bc.m, Algorithm: simn.Algorithm})
+		if err != nil {
+			return nil, err
+		}
+		src, err := sched.Random(bc.m, cfg.Seed+77, bc.crashes)
+		if err != nil {
+			runner.Close()
+			return nil, err
+		}
+		runner.Run(src, 400_000, 100, func() bool { return simn.DecidedThreads() == bc.threads })
+		runner.Close()
+
+		decided := simn.DecidedThreads()
+		distinct := make(map[any]bool)
+		for i := 1; i <= bc.threads; i++ {
+			if v, ok := simn.ThreadDecision(i); ok {
+				distinct[v] = true
+			}
+		}
+		propI := decided >= bc.threads-(bc.m-1)
+
+		// Property (ii) needs a long simulated schedule; the deciding
+		// protocol halts after a round or two, so measure it on a separate
+		// run of the same shape whose threads never decide.
+		worstBound, schedLen, err := bgPropertyII(bc.m, bc.threads, bc.crashes, cfg.Seed+78)
+		if err != nil {
+			return nil, err
+		}
+		propII := schedLen >= 20 && worstBound <= schedLen/4
+		bgTb.AddRow(bc.m, bc.threads, crashSuffix(bc.crashes), decided, len(distinct),
+			boolMark(propI), fmt.Sprintf("%d (schedule len %d)", worstBound, schedLen))
+		if !propI || !propII || len(distinct) > bc.m {
+			pass = false
+		}
+	}
+	res.Tables = append(res.Tables, bgTb)
+	res.Notes = append(res.Notes,
+		"(b) is an executable witness, not a proof: the impossibility itself is Theorem 26(2); the run shows the matching adversary defeating the Theorem 24 algorithm while safety holds",
+	)
+	res.Pass = pass
+	return res, nil
+}
+
+// neverDecideProto wraps a protocol so threads run forever, letting the
+// simulated schedule grow long enough for timeliness analysis.
+type neverDecideProto struct{ inner bg.Protocol }
+
+func (n neverDecideProto) Threads() int                    { return n.inner.Threads() }
+func (n neverDecideProto) Init(i int) any                  { return n.inner.Init(i) }
+func (n neverDecideProto) WriteValue(i, r int, st any) any { return n.inner.WriteValue(i, r, st) }
+func (n neverDecideProto) OnView(i, r int, st any, v bg.View) (any, bool, any) {
+	st2, _, _ := n.inner.OnView(i, r, st, v)
+	return st2, false, nil
+}
+
+// bgPropertyII measures the worst Definition 1 bound of any m-sized thread
+// set against all threads, on a non-deciding simulation.
+func bgPropertyII(m, threads int, crashes map[procset.ID]int, seed int64) (worstBound, schedLen int, err error) {
+	inputs := make([]int, threads+1)
+	for i := 1; i <= threads; i++ {
+		inputs[i] = i
+	}
+	proto, err := bg.NewWaitMinProtocol(inputs, m-1)
+	if err != nil {
+		return 0, 0, err
+	}
+	simn, err := bg.New(m, neverDecideProto{proto})
+	if err != nil {
+		return 0, 0, err
+	}
+	runner, err := sim.NewRunner(sim.Config{N: m, Algorithm: simn.Algorithm})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer runner.Close()
+	src, err := sched.Random(m, seed, crashes)
+	if err != nil {
+		return 0, 0, err
+	}
+	runner.Run(src, 250_000, 0, nil)
+	simSched := simn.SimulatedSchedule()
+	full := procset.FullSet(threads)
+	for _, set := range procset.KSubsets(threads, m) {
+		if b := sched.MinBound(simSched, set, full); b > worstBound {
+			worstBound = b
+		}
+	}
+	return worstBound, len(simSched), nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"github.com/settimeliness/settimeliness/internal/antiomega"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+// runE8 ablates the design choices Figure 2 fixes and shows each is
+// load-bearing.
+//
+// Scenario A (n=4, k=2, t=2, p1 and p2 crashed at time zero, timely pair
+// among {p3,p4}):
+//
+//   - paper: the dead set {p1,p2} accumulates accusations from both correct
+//     processes, so the winnerset settles on a set with a correct member.
+//   - min aggregation: every set's accusation sticks at 0 (a member never
+//     accuses its own set, and the crashed processes' entries froze), so the
+//     canonical tie-break keeps the dead set {p1,p2} forever — the role
+//     Lemma 17 plays in the proof.
+//   - fixed timeout: without line 17's growth every process keeps timing
+//     out on every set, accusations never settle, no stable output exists —
+//     the role Lemma 11 plays.
+//
+// Scenario B (n=4, k=1, t=1, failure-free, growing alternating bursts
+// (p1·p2)^L (p3·p4)^L with L increasing): {p1} stays timely w.r.t.
+// {p1,p2} — a legal S^1_{2,4} schedule — while p3 and p4 accuse {p1} and
+// {p2} forever (and vice versa), because each side's bursts grow faster
+// than any fixed timeout:
+//
+//   - paper: the (t+1)-st smallest ignores the two eternal accusers outside
+//     the timely relation; accusations freeze and the output settles — the
+//     role Lemma 16 plays.
+//   - max aggregation: the eternal accusers drive every set's accusation to
+//     infinity; the output flips forever.
+func runE8(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E8",
+		Title: "Ablations: why Definition 13 and adaptive timeouts matter",
+		Claim: "the paper's configuration passes; min/max aggregation and fixed timeouts each break the detector",
+	}
+	budget := 700_000
+	if cfg.Quick {
+		budget = 350_000
+	}
+	pass := true
+
+	// Scenario A: convergence-or-not under a dead canonical-first set.
+	typeACfg := antiomega.Config{N: 4, K: 2, T: 2}
+	crashes := map[procset.ID]int{1: 0, 2: 0}
+	tbA := trace.NewTable("Scenario A: n=4, k=2, t=2, p1,p2 crashed at 0",
+		"variant", "stable", "winnerset", "property", "as predicted")
+	variantsA := []struct {
+		name       string
+		cfg        antiomega.Config
+		expectPass bool
+	}{
+		{"paper (t+1-st smallest, adaptive)", typeACfg, true},
+		{"ablation: min aggregation", antiomega.Config{N: 4, K: 2, T: 2, Aggregate: antiomega.AggregateMin}, false},
+		{"ablation: fixed timeout", antiomega.Config{N: 4, K: 2, T: 2, FixedTimeout: true}, false},
+	}
+	for _, v := range variantsA {
+		src, _, err := sched.System(v.cfg.N, v.cfg.K, v.cfg.T+1, 4, cfg.Seed+13, crashes)
+		if err != nil {
+			return nil, err
+		}
+		run, err := driveDetector(v.cfg, src, budget)
+		if err != nil {
+			return nil, err
+		}
+		holds := run.Verdict.Holds && run.Stable
+		predicted := holds == v.expectPass
+		tbA.AddRow(v.name, boolMark(run.Stable), run.Winnerset, boolMark(run.Verdict.Holds), boolMark(predicted))
+		if !predicted {
+			pass = false
+		}
+	}
+	res.Tables = append(res.Tables, tbA)
+
+	// Scenario B: churn under eternal accusers outside the timely relation.
+	typeBCfg := antiomega.Config{N: 4, K: 1, T: 1}
+	tbB := trace.NewTable("Scenario B: n=4, k=1, t=1, growing bursts (p1 p2)^L (p3 p4)^L",
+		"variant", "output flips in last half", "settled", "as predicted")
+	variantsB := []struct {
+		name          string
+		cfg           antiomega.Config
+		expectSettled bool
+	}{
+		{"paper (t+1-st smallest)", typeBCfg, true},
+		{"ablation: max aggregation", antiomega.Config{N: 4, K: 1, T: 1, Aggregate: antiomega.AggregateMax}, false},
+	}
+	for _, v := range variantsB {
+		churn, err := driveDetectorChurn(v.cfg, newAlternatingBursts(4), budget)
+		if err != nil {
+			return nil, err
+		}
+		predicted := churn.SettledLastHalf == v.expectSettled
+		tbB.AddRow(v.name, churn.LastHalfChanges, boolMark(churn.SettledLastHalf), boolMark(predicted))
+		if !predicted {
+			pass = false
+		}
+	}
+	res.Tables = append(res.Tables, tbB)
+	res.Pass = pass
+	return res, nil
+}
+
+// alternatingBursts schedules (p1 p2)^L then (p3 p4)^L with L growing each
+// round: {p1} remains timely w.r.t. {p1,p2} (steps of p3,p4 do not open
+// windows for that relation), so the schedule lies in S^1_{2,4}, yet each
+// side starves the other for unboundedly long stretches.
+type alternatingBursts struct {
+	n     int
+	round int
+	pos   int
+}
+
+func newAlternatingBursts(n int) *alternatingBursts {
+	return &alternatingBursts{n: n, round: 1}
+}
+
+func (a *alternatingBursts) Next() procset.ID {
+	// Round r has 4r steps: (p1 p2)^r then (p3 p4)^r.
+	if a.pos >= 4*a.round {
+		a.round++
+		a.pos = 0
+	}
+	pos := a.pos
+	a.pos++
+	if pos < 2*a.round {
+		return procset.ID(pos%2 + 1)
+	}
+	return procset.ID(pos%2 + 3)
+}
+
+func (a *alternatingBursts) N() int               { return a.n }
+func (a *alternatingBursts) Correct() procset.Set { return procset.FullSet(4) }

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/iis"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+// runE9 makes the §6 related-work discussion executable. The paper contrasts
+// set timeliness with the IIS/IRIS models and observes that the IIS
+// restriction on runs does not correspond to a timeliness property:
+//
+//	"a process that never appears in the snapshot of other processes may be
+//	 a process that is actually timely in the shared memory model that
+//	 implements IIS: this process may execute at the same speed as other
+//	 processes but always start a round a few steps later."
+//
+// Part 1 verifies the one-shot immediate snapshot substrate (self-inclusion,
+// containment, immediacy) over fuzzed schedules. Part 2 constructs exactly
+// the schedule of the quote: p3 completes one IIS round per phase (same
+// speed, timely with a constant Definition 1 bound) yet never appears in
+// p1's or p2's views.
+func runE9(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E9",
+		Title: "§6 related work: IIS vs set timeliness",
+		Claim: "immediate snapshots satisfy their three properties; a timely process can be invisible in every other process's IIS views",
+	}
+	seeds := 40
+	if cfg.Quick {
+		seeds = 10
+	}
+
+	// Part 1: IS properties on fuzzed schedules.
+	tb := trace.NewTable("one-shot immediate snapshot properties (fuzzed)",
+		"n", "runs", "self-inclusion", "containment", "immediacy")
+	pass := true
+	for _, n := range []int{3, 4} {
+		selfOK, containOK, immedOK := true, true, true
+		for seed := 0; seed < seeds; seed++ {
+			views, err := runOneIS(n, int64(seed)+cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for p := 1; p <= n; p++ {
+				vp := views[p]
+				if vp == nil {
+					continue
+				}
+				if !vp.Contains(procset.ID(p)) {
+					selfOK = false
+				}
+				for q := 1; q <= n; q++ {
+					vq := views[q]
+					if vq == nil {
+						continue
+					}
+					if !vp.Members.SubsetOf(vq.Members) && !vq.Members.SubsetOf(vp.Members) {
+						containOK = false
+					}
+					if vp.Contains(procset.ID(q)) && !vq.Members.SubsetOf(vp.Members) {
+						immedOK = false
+					}
+				}
+			}
+		}
+		tb.AddRow(n, seeds, boolMark(selfOK), boolMark(containOK), boolMark(immedOK))
+		pass = pass && selfOK && containOK && immedOK
+	}
+	res.Tables = append(res.Tables, tb)
+
+	// Part 2: the invisibility schedule.
+	rounds := 60
+	if cfg.Quick {
+		rounds = 25
+	}
+	visible, bound, err := runInvisibility(rounds)
+	if err != nil {
+		return nil, err
+	}
+	tb2 := trace.NewTable("§6 invisibility run (n=3, p3 one round per phase, entering late)",
+		"IIS rounds", "p3 timely bound", "rounds where p3 visible to others")
+	tb2.AddRow(rounds, bound, visible)
+	if visible != 0 || bound > 40 {
+		pass = false
+	}
+	res.Tables = append(res.Tables, tb2)
+	res.Notes = append(res.Notes,
+		"p3 is timely with a constant bound in the underlying schedule, yet invisible in every IIS view of p1 and p2 — the IIS run restriction is not a timeliness property",
+	)
+	res.Pass = pass
+	return res, nil
+}
+
+// runOneIS runs one one-shot IS object with all processes writing their ids
+// on a seeded random schedule and returns the views (nil = did not finish).
+func runOneIS(n int, seed int64) ([]*iis.View, error) {
+	views := make([]*iis.View, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				v := iis.New(env, "obj").WriteSnap(int(p))
+				views[p] = &v
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer runner.Close()
+	src, err := sched.Random(n, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	runner.Run(src, 4000, 5, func() bool {
+		for p := 1; p <= n; p++ {
+			if views[p] == nil {
+				return false
+			}
+		}
+		return true
+	})
+	return views, nil
+}
+
+// runInvisibility builds the §6 schedule and returns the number of rounds in
+// which p3 appeared in p1's or p2's views, and p3's timeliness bound.
+func runInvisibility(rounds int) (visible int, bound int, err error) {
+	n := 3
+	seen := make([]procset.Set, rounds+1)
+	done := make([]int, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				r := iis.NewRounds(env, "iis")
+				for i := 1; i <= rounds; i++ {
+					view := r.Step(int(p))
+					if p != 3 {
+						seen[i] = seen[i].Union(view.Members)
+					}
+					done[p] = i
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer runner.Close()
+	phase := sched.Schedule{}
+	for i := 0; i < 8; i++ {
+		phase = append(phase, 1, 2)
+	}
+	phase = append(phase, 3, 3, 3, 3)
+	full := sched.Schedule{}
+	for r := 0; r < rounds+2; r++ {
+		full = append(full, phase...)
+	}
+	runner.RunSchedule(full)
+	for p := 1; p <= n; p++ {
+		if done[p] < rounds {
+			return 0, 0, fmt.Errorf("experiments: E9 process %d completed %d of %d rounds", p, done[p], rounds)
+		}
+	}
+	for i := 1; i <= rounds; i++ {
+		if seen[i].Contains(3) {
+			visible++
+		}
+	}
+	return visible, sched.MinBound(full, procset.MakeSet(3), procset.FullSet(3)), nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsReproduceQuick runs the entire experiment suite in quick
+// mode. Every experiment must report Pass: this is the repository's
+// end-to-end statement that the paper's claims reproduce.
+func TestAllExperimentsReproduceQuick(t *testing.T) {
+	t.Parallel()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Config{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !res.Pass {
+				t.Errorf("%s did not reproduce:\n%s", e.ID, res.Render())
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistryAndByID(t *testing.T) {
+	t.Parallel()
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("registry has %d experiments, want 9", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.Claim == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	t.Parallel()
+	res, err := runE1(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"E1", "REPRODUCED", "minBound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/adversary"
+	"github.com/settimeliness/settimeliness/internal/antiomega"
+	"github.com/settimeliness/settimeliness/internal/check"
+	"github.com/settimeliness/settimeliness/internal/fd"
+	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// detectorRun is the outcome of driving the Figure 2 algorithm on a source.
+type detectorRun struct {
+	Stable     bool
+	Winnerset  procset.Set
+	Verdict    fd.Verdict
+	Steps      int
+	Iterations int
+}
+
+// driveDetector runs the detector until the correct processes publish one
+// common winnerset for a sustained streak of probes, then verifies the
+// k-anti-Ω property on the recorded output history.
+func driveDetector(cfg antiomega.Config, src sched.Source, maxSteps int) (detectorRun, error) {
+	hist := fd.NewHistory(cfg.N)
+	var runner *sim.Runner
+	det, err := antiomega.NewDetector(cfg, func(p procset.ID, out procset.Set) {
+		hist.Record(runner.Steps(), p, out)
+	})
+	if err != nil {
+		return detectorRun{}, err
+	}
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: det.Algorithm})
+	if err != nil {
+		return detectorRun{}, err
+	}
+	defer runner.Close()
+
+	correct := src.Correct()
+	streak := 0
+	var last procset.Set
+	res := runner.Run(src, maxSteps, 500, func() bool {
+		w, ok := det.StableWinnerset(correct)
+		if !ok {
+			streak = 0
+			return false
+		}
+		if w == last {
+			streak++
+		} else {
+			last, streak = w, 1
+		}
+		for _, p := range correct.Members() {
+			if det.Iterations(p) < 5 {
+				return false
+			}
+		}
+		return streak >= 20
+	})
+	run := detectorRun{Stable: res.Stopped, Steps: runner.Steps()}
+	if w, ok := det.StableWinnerset(correct); ok {
+		run.Winnerset = w
+	}
+	for _, p := range correct.Members() {
+		if it := det.Iterations(p); it > run.Iterations {
+			run.Iterations = it
+		}
+	}
+	run.Verdict = hist.Check(cfg.K, correct)
+	return run, nil
+}
+
+// detectorChurn summarizes a full-budget detector run with no early stop:
+// the number of output changes overall and in the last half of the run.
+// A detector that satisfies the k-anti-Ω property on an infinite run must
+// eventually stop changing; "changes in the last half" is the finite-run
+// witness that it does not.
+type detectorChurn struct {
+	TotalChanges    int
+	LastHalfChanges int
+	SettledLastHalf bool
+}
+
+// driveDetectorChurn runs the detector for exactly maxSteps and reports
+// output churn. Used by the negative experiments (E4, E8), where streak
+// probing would be fooled by the adversary's ever-growing quiet phases.
+func driveDetectorChurn(cfg antiomega.Config, src sched.Source, maxSteps int) (detectorChurn, error) {
+	var (
+		runner *sim.Runner
+		events []int
+	)
+	det, err := antiomega.NewDetector(cfg, func(p procset.ID, out procset.Set) {
+		events = append(events, runner.Steps())
+	})
+	if err != nil {
+		return detectorChurn{}, err
+	}
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: det.Algorithm})
+	if err != nil {
+		return detectorChurn{}, err
+	}
+	defer runner.Close()
+	runner.Run(src, maxSteps, 0, nil)
+	churn := detectorChurn{TotalChanges: len(events)}
+	half := maxSteps / 2
+	for _, at := range events {
+		if at >= half {
+			churn.LastHalfChanges++
+		}
+	}
+	churn.SettledLastHalf = churn.LastHalfChanges == 0
+	return churn, nil
+}
+
+// agreementRun is the outcome of a full (t,k,n)-agreement execution.
+type agreementRun struct {
+	AllDecided   bool
+	FirstDecide  int // step of the first decision (-1 if none)
+	LastDecide   int // step of the last decision among correct processes
+	Distinct     int
+	Decisions    map[procset.ID]any
+	Violations   []error
+	SafetyErrors []error
+	Steps        int
+}
+
+// driveAgreement runs the kset solver with proposals "v<p>" and verifies the
+// three agreement properties afterwards.
+func driveAgreement(cfg kset.Config, src sched.Source, maxSteps int) (agreementRun, error) {
+	run := agreementRun{FirstDecide: -1, LastDecide: -1, Decisions: make(map[procset.ID]any)}
+	var runner *sim.Runner
+	ag, err := kset.New(cfg, func(p procset.ID, v any) {
+		if run.FirstDecide < 0 {
+			run.FirstDecide = runner.Steps()
+		}
+		run.LastDecide = runner.Steps()
+	})
+	if err != nil {
+		return run, err
+	}
+	proposal := func(p procset.ID) any { return fmt.Sprintf("v%d", p) }
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: ag.Algorithm(proposal)})
+	if err != nil {
+		return run, err
+	}
+	defer runner.Close()
+
+	correct := src.Correct()
+	res := runner.Run(src, maxSteps, 200, func() bool {
+		return correct.SubsetOf(ag.DecidedSet())
+	})
+	run.AllDecided = res.Stopped
+	run.Steps = runner.Steps()
+	run.Distinct = ag.DistinctDecisions()
+	for p := 1; p <= cfg.N; p++ {
+		if v, ok := ag.Decision(procset.ID(p)); ok {
+			run.Decisions[procset.ID(p)] = v
+		}
+	}
+	run.Violations, run.SafetyErrors = verifyAgreement(cfg, run.Decisions, correct)
+	return run, nil
+}
+
+// driveAgreementAdversarial runs the kset solver under the adaptive parking
+// adversary (internal/adversary), with the given processes crashed from the
+// start. The park rule guarantees no decision register is ever written, so
+// the run demonstrates non-termination within the horizon; the caller checks
+// safety and schedule conformance.
+func driveAgreementAdversarial(cfg kset.Config, crashed procset.Set, maxSteps int) (agreementRun, sched.Schedule, error) {
+	run := agreementRun{FirstDecide: -1, LastDecide: -1, Decisions: make(map[procset.ID]any)}
+	adv, err := adversary.New(adversary.Config{N: cfg.N, CrashedFromStart: crashed})
+	if err != nil {
+		return run, nil, err
+	}
+	var runner *sim.Runner
+	ag, err := kset.New(cfg, func(p procset.ID, v any) {
+		if run.FirstDecide < 0 {
+			run.FirstDecide = runner.Steps()
+		}
+		run.LastDecide = runner.Steps()
+	})
+	if err != nil {
+		return run, nil, err
+	}
+	proposal := func(p procset.ID) any { return fmt.Sprintf("v%d", p) }
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: ag.Algorithm(proposal)})
+	if err != nil {
+		return run, nil, err
+	}
+	defer runner.Close()
+
+	correct := adv.Correct()
+	steps, stopped := adv.Drive(runner, maxSteps, 200, func() bool {
+		return correct.SubsetOf(ag.DecidedSet())
+	})
+	run.AllDecided = stopped
+	run.Steps = steps
+	run.Distinct = ag.DistinctDecisions()
+	for p := 1; p <= cfg.N; p++ {
+		if v, ok := ag.Decision(procset.ID(p)); ok {
+			run.Decisions[procset.ID(p)] = v
+		}
+	}
+	run.Violations, run.SafetyErrors = verifyAgreement(cfg, run.Decisions, correct)
+	return run, adv.Schedule(), nil
+}
+
+func verifyAgreement(cfg kset.Config, decisions map[procset.ID]any, correct procset.Set) (all, safety []error) {
+	props := make(map[procset.ID]any, cfg.N)
+	for p := 1; p <= cfg.N; p++ {
+		props[procset.ID(p)] = fmt.Sprintf("v%d", p)
+	}
+	run := check.AgreementRun{
+		N: cfg.N, K: cfg.K, T: cfg.T,
+		Proposals: props,
+		Decisions: decisions,
+		Correct:   correct,
+	}
+	return run.Violations(), run.SafetyViolations()
+}
+
+// boolMark renders pass/fail cells.
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+func crashSuffix(crashes map[procset.ID]int) string {
+	if len(crashes) == 0 {
+		return "none"
+	}
+	out := ""
+	for p := procset.ID(1); int(p) <= procset.MaxProcs; p++ {
+		if at, ok := crashes[p]; ok {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%v@%d", p, at)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package explore provides systematic schedule exploration for safety
+// properties: exhaustive enumeration of all schedules up to a depth bound
+// (feasible for 2–3 processes — the configurations the paper's impossibility
+// arguments care about most), and high-volume seeded random fuzzing for
+// larger systems. Both re-execute the algorithm from scratch per schedule,
+// which the deterministic simulator makes cheap and exact.
+//
+// The package's own tests double as mutation tests: deliberately broken
+// protocol variants must be caught, which validates that the explorer (and
+// the property checkers it applies) can actually see violations.
+package explore
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// Builder creates one fresh run: the per-process algorithm (with fresh
+// captured state) and a check applied after the schedule has been executed.
+// check returns an error describing the violation, if any.
+type Builder func() (algo func(procset.ID) sim.Algorithm, check func() error)
+
+// Violation describes a schedule on which the check failed.
+type Violation struct {
+	Schedule sched.Schedule
+	Err      error
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("explore: violated on schedule %v: %v", v.Schedule, v.Err)
+}
+
+// runOne executes one finite schedule from a fresh build and applies the
+// check.
+func runOne(n int, schedule sched.Schedule, build Builder) error {
+	algo, check := build()
+	runner, err := sim.NewRunner(sim.Config{N: n, Algorithm: algo})
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	runner.RunSchedule(schedule)
+	if err := check(); err != nil {
+		return &Violation{Schedule: schedule, Err: err}
+	}
+	return nil
+}
+
+// Exhaustive checks every schedule of exactly depth steps over n processes
+// (n^depth runs — keep n and depth small). It returns the number of runs
+// and the first violation found, if any.
+func Exhaustive(n, depth int, build Builder) (int, error) {
+	if n < 1 || n > 4 {
+		return 0, fmt.Errorf("explore: Exhaustive supports 1 ≤ n ≤ 4, got %d", n)
+	}
+	if depth < 1 || depth > 24 {
+		return 0, fmt.Errorf("explore: depth %d out of range [1,24]", depth)
+	}
+	schedule := make(sched.Schedule, depth)
+	counter := make([]int, depth)
+	runs := 0
+	for {
+		for i, c := range counter {
+			schedule[i] = procset.ID(c + 1)
+		}
+		runs++
+		if err := runOne(n, schedule, build); err != nil {
+			return runs, err
+		}
+		// Increment the base-n counter.
+		i := 0
+		for ; i < depth; i++ {
+			counter[i]++
+			if counter[i] < n {
+				break
+			}
+			counter[i] = 0
+		}
+		if i == depth {
+			return runs, nil
+		}
+	}
+}
+
+// FuzzRandom checks seeded random schedules (seeds runs of steps steps) with
+// each of the given crash patterns (nil for failure-free only). It returns
+// the number of runs and the first violation.
+func FuzzRandom(n, steps, seeds int, crashPatterns []map[procset.ID]int, build Builder) (int, error) {
+	if len(crashPatterns) == 0 {
+		crashPatterns = []map[procset.ID]int{nil}
+	}
+	runs := 0
+	for seed := 0; seed < seeds; seed++ {
+		for _, crashes := range crashPatterns {
+			src, err := sched.Random(n, int64(seed), crashes)
+			if err != nil {
+				return runs, err
+			}
+			runs++
+			if err := runOne(n, sched.Take(src, steps), build); err != nil {
+				return runs, err
+			}
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,260 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/commitadopt"
+	"github.com/settimeliness/settimeliness/internal/consensus"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// caBuilder builds a commit-adopt run where each process proposes its id;
+// the check enforces validity and agreement-on-commit.
+func caBuilder(n int) Builder {
+	return func() (func(procset.ID) sim.Algorithm, func() error) {
+		type result struct {
+			commit bool
+			val    any
+		}
+		results := make([]*result, n+1)
+		algo := func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				o := commitadopt.New(env, "x")
+				c, v := o.Propose(int(p))
+				results[p] = &result{commit: c, val: v}
+			}
+		}
+		check := func() error {
+			var committed any
+			for p := 1; p <= n; p++ {
+				r := results[p]
+				if r == nil {
+					continue // did not finish within this schedule: fine
+				}
+				v, ok := r.val.(int)
+				if !ok || v < 1 || v > n {
+					return fmt.Errorf("p%d returned non-proposal %v", p, r.val)
+				}
+				if r.commit {
+					if committed != nil && committed != r.val {
+						return fmt.Errorf("commit disagreement: %v vs %v", committed, r.val)
+					}
+					committed = r.val
+				}
+			}
+			if committed == nil {
+				return nil
+			}
+			for p := 1; p <= n; p++ {
+				if r := results[p]; r != nil && r.val != committed {
+					return fmt.Errorf("p%d carries %v, committed %v", p, r.val, committed)
+				}
+			}
+			return nil
+		}
+		return algo, check
+	}
+}
+
+func TestCommitAdoptExhaustiveN2(t *testing.T) {
+	t.Parallel()
+	// Propose costs 2 + 2n = 6 steps per process with n=2; depth 12 covers
+	// every interleaving of two complete proposals: 4096 runs.
+	runs, err := Exhaustive(2, 12, caBuilder(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 4096 {
+		t.Errorf("runs = %d, want 4096", runs)
+	}
+}
+
+func TestCommitAdoptFuzzN4(t *testing.T) {
+	t.Parallel()
+	crashes := []map[procset.ID]int{
+		nil,
+		{1: 3},
+		{2: 0, 4: 9},
+	}
+	runs, err := FuzzRandom(4, 300, 60, crashes, caBuilder(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 180 {
+		t.Errorf("runs = %d, want 180", runs)
+	}
+}
+
+// brokenAgreement is a deliberately wrong protocol: each process writes its
+// value and decides the minimum it has read so far — transient views differ,
+// so two processes can "commit" different values. The explorer must catch
+// it (mutation test for the harness itself).
+func brokenAgreementBuilder(n int) Builder {
+	return func() (func(procset.ID) sim.Algorithm, func() error) {
+		decided := make([]any, n+1)
+		algo := func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				regs := make([]sim.Ref, n+1)
+				for q := 1; q <= n; q++ {
+					regs[q] = env.Reg(fmt.Sprintf("V[%d]", q))
+				}
+				env.Write(regs[p], int(p))
+				min := int(p)
+				for q := 1; q <= n; q++ {
+					if v, ok := env.Read(regs[q]).(int); ok && v < min {
+						min = v
+					}
+				}
+				decided[p] = min
+			}
+		}
+		check := func() error {
+			var first any
+			for p := 1; p <= n; p++ {
+				if decided[p] == nil {
+					continue
+				}
+				if first == nil {
+					first = decided[p]
+				} else if decided[p] != first {
+					return fmt.Errorf("disagreement: %v vs %v", first, decided[p])
+				}
+			}
+			return nil
+		}
+		return algo, check
+	}
+}
+
+func TestExplorerCatchesBrokenAgreement(t *testing.T) {
+	t.Parallel()
+	_, err := Exhaustive(2, 12, brokenAgreementBuilder(2))
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("broken protocol not caught: %v", err)
+	}
+	if len(v.Schedule) != 12 {
+		t.Errorf("violation schedule = %v", v.Schedule)
+	}
+}
+
+// brokenCommitAdopt skips the second collect phase: commits are based on
+// phase 1 unanimity alone, which is unsound. The fuzzer must catch it.
+func brokenCommitAdoptBuilder(n int) Builder {
+	return func() (func(procset.ID) sim.Algorithm, func() error) {
+		type result struct {
+			commit bool
+			val    any
+		}
+		results := make([]*result, n+1)
+		algo := func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				a := make([]sim.Ref, n+1)
+				for q := 1; q <= n; q++ {
+					a[q] = env.Reg(fmt.Sprintf("A[%d]", q))
+				}
+				env.Write(a[p], int(p))
+				unanimous := true
+				adopt := int(p)
+				for q := 1; q <= n; q++ {
+					if v, ok := env.Read(a[q]).(int); ok && v != int(p) {
+						unanimous = false
+						if v < adopt {
+							adopt = v
+						}
+					}
+				}
+				results[p] = &result{commit: unanimous, val: adopt}
+			}
+		}
+		check := func() error {
+			var committed any
+			for p := 1; p <= n; p++ {
+				if r := results[p]; r != nil && r.commit {
+					if committed != nil && committed != r.val {
+						return fmt.Errorf("commit disagreement")
+					}
+					committed = r.val
+				}
+			}
+			if committed == nil {
+				return nil
+			}
+			for p := 1; p <= n; p++ {
+				if r := results[p]; r != nil && r.val != committed {
+					return fmt.Errorf("adoption mismatch")
+				}
+			}
+			return nil
+		}
+		return algo, check
+	}
+}
+
+func TestExplorerCatchesBrokenCommitAdopt(t *testing.T) {
+	t.Parallel()
+	_, err := Exhaustive(2, 8, brokenCommitAdoptBuilder(2))
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("broken commit-adopt not caught: %v", err)
+	}
+}
+
+// TestConsensusSafetyExhaustiveTiny explores every schedule of two
+// contending Disk-Paxos proposers for 16 steps: no interleaving may yield
+// two different decisions or a non-proposal decision.
+func TestConsensusSafetyExhaustiveTiny(t *testing.T) {
+	t.Parallel()
+	build := func() (func(procset.ID) sim.Algorithm, func() error) {
+		decisions := make([]any, 3)
+		algo := func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				in := consensus.NewInstance(env, "c")
+				for {
+					if d, ok := in.Attempt(int(p) * 10); ok {
+						decisions[p] = d
+						return
+					}
+				}
+			}
+		}
+		check := func() error {
+			a, b := decisions[1], decisions[2]
+			if a != nil && a != 10 && a != 20 {
+				return fmt.Errorf("p1 decided %v", a)
+			}
+			if b != nil && b != 10 && b != 20 {
+				return fmt.Errorf("p2 decided %v", b)
+			}
+			if a != nil && b != nil && a != b {
+				return fmt.Errorf("disagreement %v vs %v", a, b)
+			}
+			return nil
+		}
+		return algo, check
+	}
+	runs, err := Exhaustive(2, 16, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 65536 {
+		t.Errorf("runs = %d", runs)
+	}
+}
+
+func TestExhaustiveValidation(t *testing.T) {
+	t.Parallel()
+	b := caBuilder(2)
+	if _, err := Exhaustive(5, 3, b); err == nil {
+		t.Error("n = 5 accepted")
+	}
+	if _, err := Exhaustive(2, 0, b); err == nil {
+		t.Error("depth = 0 accepted")
+	}
+	if _, err := Exhaustive(2, 25, b); err == nil {
+		t.Error("depth = 25 accepted")
+	}
+}

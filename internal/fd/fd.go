@@ -1,0 +1,131 @@
+// Package fd defines the failure-detector abstractions of §4.1 of the paper:
+// the t-resilient k-anti-Ω detector and the run-level checker for its
+// defining property.
+//
+// With t-resilient k-anti-Ω, every process p continuously outputs a set
+// fdOutput_p of n−k processes such that: if at most t processes are faulty,
+// then there is a correct process c and a time after which, for every
+// correct process p, c ∉ fdOutput_p. For t = n−1 this is Zieliński's
+// k-anti-Ω; for k = 1 it is (the complement view of) Ω.
+package fd
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// OutputEvent records that process Proc changed its detector output to
+// Output at step Step of the run.
+type OutputEvent struct {
+	Step   int
+	Proc   procset.ID
+	Output procset.Set
+}
+
+// History accumulates detector output changes over a run, for later property
+// checking. The zero value is ready to use.
+type History struct {
+	n      int
+	events []OutputEvent
+}
+
+// NewHistory returns a history for a system of n processes.
+func NewHistory(n int) *History { return &History{n: n} }
+
+// Record appends an output change. Records must arrive in nondecreasing step
+// order.
+func (h *History) Record(step int, proc procset.ID, output procset.Set) {
+	h.events = append(h.events, OutputEvent{Step: step, Proc: proc, Output: output})
+}
+
+// Events returns the recorded events (not a copy; callers must not mutate).
+func (h *History) Events() []OutputEvent { return h.events }
+
+// Len returns the number of recorded events.
+func (h *History) Len() int { return len(h.events) }
+
+// Verdict is the result of checking the k-anti-Ω property on a run.
+type Verdict struct {
+	// Holds reports whether the property was satisfied on the observed run.
+	Holds bool
+	// Witness is a correct process that is eventually never output by any
+	// correct process (valid only when Holds).
+	Witness procset.ID
+	// StableFrom is the first step from which every correct process's output
+	// excludes Witness (valid only when Holds).
+	StableFrom int
+	// Reason explains a failed check.
+	Reason string
+}
+
+// Check verifies the t-resilient k-anti-Ω property on a finite run: it
+// searches for a correct process c such that, from some observed step on,
+// every output of every correct process excludes c. Every correct process
+// must have produced at least one output, all outputs must have exactly
+// n−k members, and the run must actually exhibit the stable suffix.
+//
+// correct is the set of processes that are correct in the run's schedule.
+func (h *History) Check(k int, correct procset.Set) Verdict {
+	if correct.IsEmpty() {
+		return Verdict{Reason: "no correct process"}
+	}
+	wantSize := h.n - k
+	seen := procset.EmptySet
+	for _, ev := range h.events {
+		if ev.Output.Size() != wantSize {
+			return Verdict{Reason: fmt.Sprintf(
+				"step %d: %v output %v has %d members, want n-k = %d",
+				ev.Step, ev.Proc, ev.Output, ev.Output.Size(), wantSize)}
+		}
+		if correct.Contains(ev.Proc) {
+			seen = seen.Add(ev.Proc)
+		}
+	}
+	if !correct.SubsetOf(seen) {
+		return Verdict{Reason: fmt.Sprintf(
+			"correct processes %v produced no output", correct.Minus(seen))}
+	}
+	// The current output of p is its latest recorded event. A witness is a
+	// correct c excluded from every correct process's current output; its
+	// stabilization point is just after the last time any correct process
+	// still included it.
+	final := make(map[procset.ID]procset.Set, correct.Size())
+	for _, ev := range h.events {
+		if correct.Contains(ev.Proc) {
+			final[ev.Proc] = ev.Output
+		}
+	}
+	best := Verdict{Reason: "no correct process is eventually excluded by all correct processes"}
+	for _, c := range correct.Members() {
+		excludedNow := true
+		for _, out := range final {
+			if out.Contains(c) {
+				excludedNow = false
+				break
+			}
+		}
+		if !excludedNow {
+			continue
+		}
+		stableFrom := 0
+		for _, ev := range h.events {
+			if correct.Contains(ev.Proc) && ev.Output.Contains(c) && ev.Step+1 > stableFrom {
+				stableFrom = ev.Step + 1
+			}
+		}
+		if !best.Holds || stableFrom < best.StableFrom {
+			best = Verdict{Holds: true, Witness: c, StableFrom: stableFrom}
+		}
+	}
+	return best
+}
+
+// Leader interprets a winnerset of size 1 as an Ω leader. It returns 0 when
+// the set is not a singleton.
+func Leader(winnerset procset.Set) procset.ID {
+	if winnerset.Size() != 1 {
+		return 0
+	}
+	return winnerset.Min()
+}

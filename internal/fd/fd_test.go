@@ -1,0 +1,131 @@
+package fd
+
+import (
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+func TestCheckHoldsSimpleConvergence(t *testing.T) {
+	t.Parallel()
+	// n=4, k=2: outputs have 2 members. Processes 1,2,3 correct; process 3
+	// is eventually excluded by everyone.
+	h := NewHistory(4)
+	correct := procset.MakeSet(1, 2, 3)
+	h.Record(10, 1, procset.MakeSet(3, 4)) // initially includes 3
+	h.Record(12, 2, procset.MakeSet(1, 4))
+	h.Record(14, 3, procset.MakeSet(2, 4))
+	h.Record(20, 1, procset.MakeSet(2, 4)) // 1 switches away from 3
+	v := h.Check(2, correct)
+	if !v.Holds {
+		t.Fatalf("Check failed: %s", v.Reason)
+	}
+	if v.Witness != 3 {
+		t.Errorf("witness = %v, want p3", v.Witness)
+	}
+	if v.StableFrom != 11 {
+		t.Errorf("StableFrom = %d, want 11 (p1 last included 3 at step 10)", v.StableFrom)
+	}
+}
+
+func TestCheckPrefersEarliestStableWitness(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(3)
+	correct := procset.MakeSet(1, 2)
+	// k=1: outputs have 2 members. Both 1 and... only excluded correct
+	// processes can be witnesses. Output {2,3} excludes 1; output {1,3}
+	// excludes 2.
+	h.Record(5, 1, procset.MakeSet(2, 3))
+	h.Record(6, 2, procset.MakeSet(2, 3))
+	v := h.Check(1, correct)
+	if !v.Holds || v.Witness != 1 || v.StableFrom != 0 {
+		t.Fatalf("verdict = %+v, want witness p1 from step 0", v)
+	}
+}
+
+func TestCheckFailsWhenNoCommonExclusion(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(3)
+	correct := procset.MakeSet(1, 2)
+	// p1 excludes p2 forever; p2 excludes p1 forever; crashed p3 is not a
+	// valid witness.
+	h.Record(1, 1, procset.MakeSet(2, 3))
+	h.Record(2, 2, procset.MakeSet(1, 3))
+	v := h.Check(1, correct)
+	if v.Holds {
+		t.Fatalf("Check held with witness %v", v.Witness)
+	}
+}
+
+func TestCheckFailsOnWrongOutputSize(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(4)
+	h.Record(1, 1, procset.MakeSet(2))
+	v := h.Check(2, procset.MakeSet(1))
+	if v.Holds || v.Reason == "" {
+		t.Fatalf("verdict = %+v, want size failure", v)
+	}
+}
+
+func TestCheckFailsWhenCorrectProcessSilent(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(3)
+	correct := procset.MakeSet(1, 2)
+	h.Record(1, 1, procset.MakeSet(2, 3))
+	v := h.Check(1, correct)
+	if v.Holds {
+		t.Fatal("Check held although p2 never produced output")
+	}
+}
+
+func TestCheckFailsOnEmptyCorrectSet(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(3)
+	if v := h.Check(1, procset.EmptySet); v.Holds {
+		t.Fatal("Check held with no correct process")
+	}
+}
+
+func TestCheckIgnoresFaultyOutputsForWitness(t *testing.T) {
+	t.Parallel()
+	// A faulty process may include the witness forever; only correct
+	// processes' outputs matter.
+	h := NewHistory(3)
+	correct := procset.MakeSet(1, 2)
+	h.Record(1, 1, procset.MakeSet(2, 3)) // excludes 1
+	h.Record(2, 2, procset.MakeSet(2, 3)) // hmm: p2 includes itself; excludes 1
+	h.Record(3, 3, procset.MakeSet(1, 2)) // faulty p3 includes 1 — irrelevant
+	v := h.Check(1, correct)
+	if !v.Holds || v.Witness != 1 {
+		t.Fatalf("verdict = %+v, want witness p1", v)
+	}
+}
+
+func TestLeader(t *testing.T) {
+	t.Parallel()
+	if got := Leader(procset.MakeSet(4)); got != 4 {
+		t.Errorf("Leader = %v, want p4", got)
+	}
+	if got := Leader(procset.MakeSet(1, 2)); got != 0 {
+		t.Errorf("Leader of pair = %v, want 0", got)
+	}
+	if got := Leader(procset.EmptySet); got != 0 {
+		t.Errorf("Leader of empty = %v, want 0", got)
+	}
+}
+
+func TestHistoryAccessors(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(3)
+	if h.Len() != 0 {
+		t.Error("fresh history not empty")
+	}
+	h.Record(1, 1, procset.MakeSet(2, 3))
+	if h.Len() != 1 || len(h.Events()) != 1 {
+		t.Error("event not recorded")
+	}
+	ev := h.Events()[0]
+	if ev.Step != 1 || ev.Proc != 1 || ev.Output != procset.MakeSet(2, 3) {
+		t.Errorf("event = %+v", ev)
+	}
+}

@@ -1,0 +1,67 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// TestQuickCheckConsistency exercises Check on synthetic histories: whenever
+// it reports a witness, replaying the history confirms no correct process's
+// final output contains the witness and the StableFrom step is exact.
+func TestQuickCheckConsistency(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		k := 1 + rng.Intn(n-1)
+		var correct procset.Set
+		for correct.Size() < 1+rng.Intn(n) {
+			correct = correct.Add(procset.ID(rng.Intn(n) + 1))
+		}
+		h := NewHistory(n)
+		events := 1 + rng.Intn(30)
+		step := 0
+		for e := 0; e < events; e++ {
+			step += rng.Intn(5)
+			p := procset.ID(rng.Intn(n) + 1)
+			out, err := procset.UnrankKSubset(rng.Intn(procset.Binomial(n, n-k)), n-k, n)
+			if err != nil {
+				return false
+			}
+			h.Record(step, p, out)
+		}
+		v := h.Check(k, correct)
+		if !v.Holds {
+			return true
+		}
+		// Replay: the witness must be correct, excluded from every correct
+		// process's final output, and included in some correct process's
+		// output at step v.StableFrom-1 if StableFrom > 0.
+		if !correct.Contains(v.Witness) {
+			return false
+		}
+		final := make(map[procset.ID]procset.Set)
+		lastIncl := -1
+		for _, ev := range h.Events() {
+			if !correct.Contains(ev.Proc) {
+				continue
+			}
+			final[ev.Proc] = ev.Output
+			if ev.Output.Contains(v.Witness) && ev.Step > lastIncl {
+				lastIncl = ev.Step
+			}
+		}
+		for _, out := range final {
+			if out.Contains(v.Witness) {
+				return false
+			}
+		}
+		return v.StableFrom == lastIncl+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

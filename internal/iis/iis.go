@@ -1,0 +1,127 @@
+// Package iis implements one-shot immediate snapshot objects
+// (Borowsky–Gafni) and the iterated immediate snapshot (IIS) model built
+// from a sequence of them, which §6 of the paper contrasts with the
+// set-timeliness model.
+//
+// A one-shot immediate snapshot object supports a single operation
+// WriteSnap(v) returning a view (set of (process, value) pairs) such that:
+//
+//   - self-inclusion: p's view contains p's own value;
+//   - containment: any two views are ordered by inclusion;
+//   - immediacy: if q's value is in p's view, then q's view is a subset of
+//     p's view.
+//
+// The classic level-descent construction is used: a process walks levels
+// n, n−1, ... writing (value, level); when at least ℓ processes are at
+// level ≤ ℓ (its current level), those values form its view.
+//
+// The package exists to make the paper's §6 remark executable: in the IIS
+// model, a process that is perfectly timely in the underlying shared-memory
+// schedule can still be invisible in every other process's snapshots — the
+// restriction IIS places on runs does not correspond to a timeliness
+// property (experiment E9).
+package iis
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// View is the result of WriteSnap: Vals[q] is non-nil exactly for the
+// processes q whose writes the view contains. Members is their set.
+type View struct {
+	Members procset.Set
+	Vals    []any // indexed by process id; nil where absent
+}
+
+// Contains reports whether q's value is in the view.
+func (v View) Contains(q procset.ID) bool { return v.Members.Contains(q) }
+
+type levelEntry struct {
+	Val   any
+	Level int
+}
+
+// Object is one process's handle on a named one-shot immediate snapshot
+// object. WriteSnap must be called at most once per process.
+type Object struct {
+	env  sim.Env
+	n    int
+	regs []sim.Ref
+	used bool
+}
+
+// New creates the handle. It performs no steps.
+func New(env sim.Env, name string) *Object {
+	n := env.N()
+	o := &Object{env: env, n: n, regs: make([]sim.Ref, n+1)}
+	for q := 1; q <= n; q++ {
+		o.regs[q] = env.Reg(fmt.Sprintf("is[%s].L[%d]", name, q))
+	}
+	return o
+}
+
+// WriteSnap performs the combined write-and-snapshot of the IS object.
+// Cost: at most n·(1 + n) steps (one write plus one collect per level).
+func (o *Object) WriteSnap(v any) View {
+	if v == nil {
+		panic("iis: nil values are not supported")
+	}
+	if o.used {
+		panic("iis: WriteSnap called twice")
+	}
+	o.used = true
+	self := int(o.env.Self())
+	for level := o.n; ; level-- {
+		o.env.Write(o.regs[self], levelEntry{Val: v, Level: level})
+		at := View{Vals: make([]any, o.n+1)}
+		count := 0
+		for q := 1; q <= o.n; q++ {
+			got := o.env.Read(o.regs[q])
+			if got == nil {
+				continue
+			}
+			e, ok := got.(levelEntry)
+			if !ok {
+				panic(fmt.Sprintf("iis: register holds %T", got))
+			}
+			if e.Level <= level {
+				at.Members = at.Members.Add(procset.ID(q))
+				at.Vals[q] = e.Val
+				count++
+			}
+		}
+		if count >= level {
+			return at
+		}
+		if level == 1 {
+			// Unreachable: at level 1 the process itself is at level ≤ 1.
+			panic("iis: level descent fell through")
+		}
+	}
+}
+
+// Rounds is an iterated immediate snapshot: a fresh one-shot object per
+// round, each process carrying its previous view as the next round's value.
+type Rounds struct {
+	env    sim.Env
+	prefix string
+	round  int
+}
+
+// NewRounds creates an IIS handle with the given object-name prefix.
+func NewRounds(env sim.Env, prefix string) *Rounds {
+	return &Rounds{env: env, prefix: prefix}
+}
+
+// Round returns the number of completed rounds.
+func (r *Rounds) Round() int { return r.round }
+
+// Step executes one IIS round with the given value and returns its view.
+func (r *Rounds) Step(v any) View {
+	r.round++
+	obj := New(r.env, fmt.Sprintf("%s.r%d", r.prefix, r.round))
+	return obj.WriteSnap(v)
+}

@@ -1,0 +1,221 @@
+package iis
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// collectViews runs one IS object with all n processes writing their id and
+// returns the views obtained on the given schedule.
+func collectViews(t *testing.T, n int, src sched.Source, steps int) []*View {
+	t.Helper()
+	views := make([]*View, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				v := New(env, "obj").WriteSnap(int(p))
+				views[p] = &v
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(runner.Close)
+	runner.Run(src, steps, 5, func() bool {
+		for p := 1; p <= n; p++ {
+			if views[p] == nil {
+				return false
+			}
+		}
+		return true
+	})
+	return views
+}
+
+func checkISProperties(t *testing.T, n int, views []*View) {
+	t.Helper()
+	for p := 1; p <= n; p++ {
+		v := views[p]
+		if v == nil {
+			continue
+		}
+		// Self-inclusion.
+		if !v.Contains(procset.ID(p)) {
+			t.Fatalf("p%d's view %v misses itself", p, v.Members)
+		}
+		// Values are the writers' inputs.
+		for _, q := range v.Members.Members() {
+			if v.Vals[q] != int(q) {
+				t.Fatalf("p%d's view has %v for %v", p, v.Vals[q], q)
+			}
+		}
+		// Sized views: |view| >= level at which it was taken ≥ 1.
+		if v.Members.Size() < 1 {
+			t.Fatalf("empty view at p%d", p)
+		}
+	}
+	// Containment and immediacy.
+	for p := 1; p <= n; p++ {
+		for q := 1; q <= n; q++ {
+			vp, vq := views[p], views[q]
+			if vp == nil || vq == nil {
+				continue
+			}
+			if !vp.Members.SubsetOf(vq.Members) && !vq.Members.SubsetOf(vp.Members) {
+				t.Fatalf("views incomparable: %v vs %v", vp.Members, vq.Members)
+			}
+			if vp.Contains(procset.ID(q)) && !vq.Members.SubsetOf(vp.Members) {
+				t.Fatalf("immediacy violated: p%d sees p%d but %v ⊄ %v",
+					p, q, vq.Members, vp.Members)
+			}
+		}
+	}
+}
+
+func TestImmediateSnapshotPropertiesFuzz(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{2, 3, 4} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 25; seed++ {
+				src, err := sched.Random(n, seed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				views := collectViews(t, n, src, 5000)
+				checkISProperties(t, n, views)
+			}
+		})
+	}
+}
+
+func TestImmediateSnapshotWithCrash(t *testing.T) {
+	t.Parallel()
+	// A crashed writer must not block others (wait-freedom), and the
+	// surviving views still satisfy the properties.
+	src, err := sched.Random(3, 7, map[procset.ID]int{2: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := collectViews(t, 3, src, 5000)
+	if views[1] == nil || views[3] == nil {
+		t.Fatal("live processes blocked by crashed writer")
+	}
+	checkISProperties(t, 3, views)
+}
+
+func TestSoloWriterSeesItself(t *testing.T) {
+	t.Parallel()
+	src, err := sched.RoundRobin(3, map[procset.ID]int{2: 0, 3: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := collectViews(t, 3, src, 5000)
+	if views[1] == nil {
+		t.Fatal("solo writer did not return")
+	}
+	if views[1].Members != procset.MakeSet(1) {
+		t.Errorf("solo view = %v, want {p1}", views[1].Members)
+	}
+}
+
+func TestIISRoundsAdvance(t *testing.T) {
+	t.Parallel()
+	n := 3
+	rounds := make([]int, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				r := NewRounds(env, "iis")
+				v := any(int(p))
+				for {
+					view := r.Step(v)
+					rounds[p] = r.Round()
+					v = view.Members // carry the view forward
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	src, err := sched.RoundRobin(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Run(src, 20_000, 0, nil)
+	for p := 1; p <= n; p++ {
+		if rounds[p] < 10 {
+			t.Errorf("p%d completed only %d rounds", p, rounds[p])
+		}
+	}
+}
+
+// TestSection6Invisibility is the §6 remark as a test: a process that runs
+// at full speed but enters each round after the others have finished it is
+// timely in the schedule yet never appears in any other process's view.
+func TestSection6Invisibility(t *testing.T) {
+	t.Parallel()
+	n := 3
+	const rounds = 30
+	// Views of p1 and p2 per round.
+	seen := make([]procset.Set, rounds+1)
+	done := make([]int, n+1)
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				r := NewRounds(env, "iis")
+				for i := 1; i <= rounds; i++ {
+					view := r.Step(int(p))
+					if p != 3 {
+						seen[i] = seen[i].Union(view.Members)
+					}
+					done[p] = i
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	// Per phase each process completes exactly one IS round: p1 and p2
+	// interleave and finish theirs in 8 steps each (descend two levels, 1
+	// write + 3 reads per level); p3 then joins late and returns at the top
+	// level in 4 steps (everyone is already at level ≤ 3). Nobody drifts
+	// across rounds, and p3 enters every object after the others left it.
+	phase := sched.Schedule{}
+	for i := 0; i < 8; i++ {
+		phase = append(phase, 1, 2)
+	}
+	phase = append(phase, 3, 3, 3, 3)
+	full := sched.Schedule{}
+	for r := 0; r < rounds+2; r++ {
+		full = append(full, phase...)
+	}
+	runner.RunSchedule(full)
+
+	if done[1] < rounds || done[2] < rounds || done[3] < rounds {
+		t.Fatalf("rounds completed: %v", done[1:])
+	}
+	// p3 is timely in this schedule: gaps are bounded by the phase length.
+	if b := sched.MinBound(full, procset.MakeSet(3), procset.FullSet(3)); b > len(phase)+1 {
+		t.Fatalf("p3 not timely: bound %d", b)
+	}
+	// Yet p3 never appears in p1's or p2's views.
+	for i := 1; i <= rounds; i++ {
+		if seen[i].Contains(3) {
+			t.Fatalf("p3 visible in round %d views %v", i, seen[i])
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package live runs the same algorithms as the deterministic simulator on
+// real goroutines with real shared memory. It implements sim.Env, so the
+// Figure 2 detector and the agreement layer execute unmodified; schedules
+// emerge from the Go scheduler instead of an explicit sequence.
+//
+// Set timeliness is enforced in real time by a governor that mirrors
+// Definition 1: it counts operations by Q since the last operation by P and
+// blocks further Q operations once the window is one short of the bound,
+// until a member of P performs an operation. Crashes are injected by
+// operation count. The generated operation sequence is recorded and can be
+// analyzed with the sched package — the live runtime is thus both a
+// demonstration that the algorithms are schedule-agnostic and a generator
+// of "wild" schedules for conformance testing.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// Config configures a live runtime.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Algorithm returns the code for each process (same contract as
+	// sim.Config.Algorithm).
+	Algorithm func(p procset.ID) sim.Algorithm
+	// P, Q, Bound optionally enforce "P timely w.r.t. Q with Bound" on the
+	// emerging schedule (all zero disables governance).
+	P, Q  procset.Set
+	Bound int
+	// CrashAfterOps crashes processes after that many operations.
+	CrashAfterOps map[procset.ID]int
+}
+
+var errCrashed = errors.New("live: process crashed or runtime stopped")
+
+// Runtime executes the configured algorithms on goroutines.
+type Runtime struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	regs     map[string]*liveReg
+	schedule sched.Schedule
+	ops      []int // per-process op counts (1-based)
+	crashed  []bool
+	qGap     int
+	stopped  bool
+	wg       sync.WaitGroup
+	started  bool
+}
+
+type liveReg struct {
+	name string
+	mu   sync.RWMutex
+	val  any
+}
+
+func (r *liveReg) Name() string { return r.name }
+
+// New validates the configuration and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.N < 1 || cfg.N > procset.MaxProcs {
+		return nil, fmt.Errorf("live: n = %d out of range [1,%d]", cfg.N, procset.MaxProcs)
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("live: Config.Algorithm is required")
+	}
+	govern := !cfg.P.IsEmpty() || !cfg.Q.IsEmpty() || cfg.Bound != 0
+	if govern {
+		if cfg.P.IsEmpty() || cfg.Q.IsEmpty() || cfg.Bound < 1 {
+			return nil, fmt.Errorf("live: timeliness governance needs nonempty P, Q and Bound ≥ 1")
+		}
+		full := procset.FullSet(cfg.N)
+		if !cfg.P.SubsetOf(full) || !cfg.Q.SubsetOf(full) {
+			return nil, fmt.Errorf("live: P=%v Q=%v exceed Π%d", cfg.P, cfg.Q, cfg.N)
+		}
+		for p := range cfg.CrashAfterOps {
+			if cfg.P.Contains(p) {
+				return nil, fmt.Errorf("live: governed set P must not crash (%v does)", p)
+			}
+		}
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		regs:    make(map[string]*liveReg),
+		ops:     make([]int, cfg.N+1),
+		crashed: make([]bool, cfg.N+1),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt, nil
+}
+
+// liveEnv implements sim.Env for one process.
+type liveEnv struct {
+	rt   *Runtime
+	self procset.ID
+}
+
+func (e *liveEnv) Self() procset.ID { return e.self }
+func (e *liveEnv) N() int           { return e.rt.cfg.N }
+
+func (e *liveEnv) Reg(name string) sim.Ref {
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	r, ok := e.rt.regs[name]
+	if !ok {
+		r = &liveReg{name: name}
+		e.rt.regs[name] = r
+	}
+	return r
+}
+
+func (e *liveEnv) Read(ref sim.Ref) any {
+	r := mustLiveReg(ref)
+	e.rt.admit(e.self)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+func (e *liveEnv) Write(ref sim.Ref, v any) {
+	r := mustLiveReg(ref)
+	e.rt.admit(e.self)
+	r.mu.Lock()
+	r.val = v
+	r.mu.Unlock()
+}
+
+func mustLiveReg(ref sim.Ref) *liveReg {
+	r, ok := ref.(*liveReg)
+	if !ok {
+		panic(fmt.Sprintf("live: foreign Ref %T passed to live env", ref))
+	}
+	return r
+}
+
+// admit applies crash injection and the timeliness governor, then records
+// the operation. It panics with errCrashed to unwind crashed processes.
+func (rt *Runtime) admit(p procset.ID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for {
+		if rt.stopped || rt.crashed[p] {
+			panic(errCrashed)
+		}
+		if limit, ok := rt.cfg.CrashAfterOps[p]; ok && rt.ops[p] >= limit {
+			rt.crashed[p] = true
+			rt.cond.Broadcast()
+			panic(errCrashed)
+		}
+		if rt.cfg.Bound > 0 && !rt.cfg.P.Contains(p) && rt.cfg.Q.Contains(p) && rt.qGap+1 >= rt.cfg.Bound {
+			// Admitting this Q-operation would complete a P-free window of
+			// Bound Q-operations; wait for a member of P to move.
+			rt.cond.Wait()
+			continue
+		}
+		break
+	}
+	if rt.cfg.Bound > 0 {
+		switch {
+		case rt.cfg.P.Contains(p):
+			rt.qGap = 0
+			rt.cond.Broadcast()
+		case rt.cfg.Q.Contains(p):
+			rt.qGap++
+		}
+	}
+	rt.ops[p]++
+	rt.schedule = append(rt.schedule, p)
+}
+
+// Start launches the process goroutines. It may be called once.
+func (rt *Runtime) Start() error {
+	rt.mu.Lock()
+	if rt.started {
+		rt.mu.Unlock()
+		return fmt.Errorf("live: already started")
+	}
+	rt.started = true
+	rt.mu.Unlock()
+	for i := 1; i <= rt.cfg.N; i++ {
+		p := procset.ID(i)
+		algo := rt.cfg.Algorithm(p)
+		if algo == nil {
+			return fmt.Errorf("live: nil algorithm for %v", p)
+		}
+		env := &liveEnv{rt: rt, self: p}
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			halted := false
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						if rec != errCrashed {
+							panic(rec)
+						}
+						return
+					}
+					halted = true
+				}()
+				algo(env)
+			}()
+			if halted {
+				rt.idle(p)
+			}
+		}()
+	}
+	return nil
+}
+
+// idle keeps a halted process taking no-op steps, mirroring the paper's
+// semantics in which a schedule may keep scheduling a halted automaton (its
+// steps are self-loops). Without this, a halted member of the governed set P
+// would starve Q forever.
+func (rt *Runtime) idle(p procset.ID) {
+	defer func() {
+		if rec := recover(); rec != nil && rec != errCrashed {
+			panic(rec)
+		}
+	}()
+	for {
+		rt.admit(p)
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// WaitUntil polls stop every interval until it returns true or the deadline
+// passes; it reports whether stop fired.
+func (rt *Runtime) WaitUntil(stop func() bool, interval, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if stop() {
+			return true
+		}
+		time.Sleep(interval)
+	}
+	return stop()
+}
+
+// Stop terminates all processes and waits for their goroutines to exit.
+// The recorded schedule remains available. Stop is idempotent.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		rt.wg.Wait()
+		return
+	}
+	rt.stopped = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// Schedule returns a copy of the operation sequence recorded so far.
+func (rt *Runtime) Schedule() sched.Schedule {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append(sched.Schedule(nil), rt.schedule...)
+}
+
+// Ops returns the number of operations performed by p.
+func (rt *Runtime) Ops(p procset.ID) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ops[p]
+}

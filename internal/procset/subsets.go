@@ -1,0 +1,108 @@
+package procset
+
+import "fmt"
+
+// Binomial returns C(n, k), the number of k-subsets of an n-set.
+// It returns 0 when k < 0 or k > n. Results are exact for the n ≤ 64
+// range supported by this package.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}
+
+// KSubsets enumerates Πkn: all subsets of {1..n} of size k, in the canonical
+// total order (ascending bitmask, i.e. colexicographic). The slice is freshly
+// allocated on each call.
+func KSubsets(n, k int) []Set {
+	if k < 0 || k > n {
+		return nil
+	}
+	out := make([]Set, 0, Binomial(n, k))
+	if k == 0 {
+		return append(out, EmptySet)
+	}
+	// Gosper's hack: iterate bitmasks with exactly k bits in increasing order.
+	v := uint64(1)<<uint(k) - 1
+	limit := uint64(FullSet(n))
+	for v <= limit {
+		out = append(out, Set(v))
+		if v == 0 {
+			break
+		}
+		c := v & -v
+		r := v + c
+		if c == 0 || r == 0 { // overflow guard for n == 64
+			break
+		}
+		v = (((r ^ v) >> 2) / c) | r
+	}
+	return out
+}
+
+// NextKSubset returns the successor of s in the canonical order on k-subsets
+// of {1..n}, and false when s is the last one. It panics if s is empty.
+func NextKSubset(s Set, n int) (Set, bool) {
+	if s == 0 {
+		panic("procset: NextKSubset of empty set")
+	}
+	v := uint64(s)
+	c := v & -v
+	r := v + c
+	next := (((r ^ v) >> 2) / c) | r
+	if next > uint64(FullSet(n)) {
+		return 0, false
+	}
+	return Set(next), true
+}
+
+// RankKSubset returns the position (from 0) of s in the canonical enumeration
+// of k-subsets of {1..n}, where k = s.Size(). This is the combinadic rank in
+// colexicographic order: rank = Σ C(c_i, i+1) over members c_i (0-based
+// element values) sorted ascending.
+func RankKSubset(s Set) int {
+	rank := 0
+	for i, id := range s.Members() {
+		rank += Binomial(int(id)-1, i+1)
+	}
+	return rank
+}
+
+// UnrankKSubset returns the k-subset of {1..n} with the given rank in the
+// canonical enumeration. It is the inverse of RankKSubset.
+func UnrankKSubset(rank, k, n int) (Set, error) {
+	if rank < 0 || rank >= Binomial(n, k) {
+		return 0, fmt.Errorf("procset: rank %d out of range for C(%d,%d)=%d", rank, n, k, Binomial(n, k))
+	}
+	var s Set
+	for i := k; i >= 1; i-- {
+		// Largest c with C(c, i) <= rank.
+		c := i - 1
+		for Binomial(c+1, i) <= rank {
+			c++
+		}
+		rank -= Binomial(c, i)
+		s = s.Add(ID(c + 1))
+	}
+	return s, nil
+}
+
+// SubsetsContaining returns all k-subsets of {1..n} that contain process id.
+func SubsetsContaining(id ID, n, k int) []Set {
+	all := KSubsets(n, k)
+	out := make([]Set, 0, Binomial(n-1, k-1))
+	for _, s := range all {
+		if s.Contains(id) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

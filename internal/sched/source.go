@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// Source produces an infinite schedule one step at a time. Sources are the
+// executable counterpart of the paper's infinite schedules: they additionally
+// declare the set of processes they schedule infinitely often (the correct
+// processes of the schedule), which the harness uses to evaluate termination
+// and failure-detector properties without waiting forever.
+//
+// Sources are not safe for concurrent use; each run owns its source.
+type Source interface {
+	// Next returns the process taking the next step.
+	Next() procset.ID
+	// N returns the system size n.
+	N() int
+	// Correct returns the set of processes scheduled infinitely often.
+	Correct() procset.Set
+}
+
+// Take materializes the next count steps of src as a finite schedule.
+func Take(src Source, count int) Schedule {
+	out := make(Schedule, count)
+	for i := range out {
+		out[i] = src.Next()
+	}
+	return out
+}
+
+// Validate runs basic sanity checks on a source: ids in range, correct set
+// nonempty and within Πn, and every correct process appearing within the
+// given horizon. It is used by tests and by the conformance checker.
+func Validate(src Source, horizon int) error {
+	n := src.N()
+	correct := src.Correct()
+	if correct.IsEmpty() {
+		return fmt.Errorf("sched: source declares no correct process")
+	}
+	if !correct.SubsetOf(procset.FullSet(n)) {
+		return fmt.Errorf("sched: correct set %v not within Π%d", correct, n)
+	}
+	seen := procset.EmptySet
+	for i := 0; i < horizon; i++ {
+		p := src.Next()
+		if p < 1 || procset.ID(n) < p {
+			return fmt.Errorf("sched: step %d schedules %v outside Π%d", i, p, n)
+		}
+		seen = seen.Add(p)
+	}
+	if !correct.SubsetOf(seen) {
+		return fmt.Errorf("sched: correct processes %v not all seen within horizon %d (saw %v)",
+			correct, horizon, seen)
+	}
+	return nil
+}
+
+// replaySource plays back a fixed finite schedule and then repeats its
+// suffix cycle forever.
+type replaySource struct {
+	n     int
+	steps Schedule
+	cycle Schedule
+	pos   int
+}
+
+// Replay returns a source that emits the finite schedule steps and then
+// repeats cycle forever. The correct set is the participants of cycle.
+// It returns an error if cycle is empty or any id exceeds n.
+func Replay(n int, steps, cycle Schedule) (Source, error) {
+	if len(cycle) == 0 {
+		return nil, fmt.Errorf("sched: Replay requires a nonempty cycle")
+	}
+	for _, p := range steps.Concat(cycle) {
+		if p < 1 || procset.ID(n) < p {
+			return nil, fmt.Errorf("sched: Replay step %v outside Π%d", p, n)
+		}
+	}
+	return &replaySource{n: n, steps: steps, cycle: cycle}, nil
+}
+
+func (r *replaySource) Next() procset.ID {
+	if r.pos < len(r.steps) {
+		p := r.steps[r.pos]
+		r.pos++
+		return p
+	}
+	p := r.cycle[(r.pos-len(r.steps))%len(r.cycle)]
+	r.pos++
+	return p
+}
+
+func (r *replaySource) N() int               { return r.n }
+func (r *replaySource) Correct() procset.Set { return r.cycle.Participants() }

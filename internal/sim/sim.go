@@ -1,0 +1,421 @@
+// Package sim is a deterministic simulator for the read/write shared-memory
+// model of the paper (§2.2–2.3): an algorithm is a set of n deterministic
+// automata; a run is driven by a schedule (a sequence of process ids); in
+// each of its steps a process reads or writes one shared register and
+// updates its local state; local computation is free.
+//
+// Algorithms are written as ordinary Go functions against the Env interface.
+// Each process runs as a coroutine: every Read or Write blocks until the
+// runner grants a step according to the schedule, the runner performs the
+// memory operation centrally, and the process then computes locally until it
+// posts its next operation. The runner waits for that next posting (or for
+// process termination) before returning from Step, so at most one process
+// executes at any instant once stepping begins, runs are bit-for-bit
+// reproducible, and the harness may safely inspect any state the algorithm
+// shares with it between Step calls.
+//
+// One caveat follows from the lazy start: algorithm code that runs before
+// the process's first Read or Write (its initialization) executes
+// concurrently with other processes' steps. Initialization may create
+// registers (Env.Reg is thread-safe) and build local state, but must not
+// touch state shared with the harness or with other processes; perform one
+// register operation first if such access is needed.
+//
+// Crashes are represented exactly as in the paper: a schedule simply stops
+// containing the process. Scheduling a process whose function has returned
+// is a no-op step.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+)
+
+// Ref is an opaque handle to a shared register. Obtain handles with Env.Reg;
+// handles are shared across processes by name.
+type Ref interface {
+	// Name returns the register's name.
+	Name() string
+}
+
+// Env is the programming interface algorithms run against. Reg does not cost
+// a step (naming registers is part of the automaton's structure); Read and
+// Write cost exactly one step each and block until the schedule grants it.
+//
+// Both the deterministic runtime in this package and the real-time runtime
+// in internal/live implement Env, so algorithm code runs unmodified on both.
+type Env interface {
+	// Self returns the identifier of the executing process (1..n).
+	Self() procset.ID
+	// N returns the system size.
+	N() int
+	// Reg returns the shared register with the given name, creating it with
+	// initial value nil if needed.
+	Reg(name string) Ref
+	// Read returns the current value of the register; nil if never written.
+	Read(r Ref) any
+	// Write stores v in the register. Values must be treated as immutable
+	// once written.
+	Write(r Ref, v any)
+}
+
+// Algorithm is the code run by one process. The function may return (the
+// automaton halts) or loop forever; returning is not a crash.
+type Algorithm func(env Env)
+
+// OpKind classifies what happened during a step.
+type OpKind int
+
+// Step kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	// OpNoop is a step granted to a process whose automaton has halted.
+	OpNoop
+)
+
+// String returns a short name for the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// StepInfo describes one executed step, delivered to observers.
+type StepInfo struct {
+	// Index is the 0-based position of the step in the run's schedule.
+	Index int
+	// Proc is the process that took the step.
+	Proc procset.ID
+	// Kind says whether the step read, wrote, or was a no-op.
+	Kind OpKind
+	// Reg is the register name for read/write steps.
+	Reg string
+	// Value is the value read or written.
+	Value any
+}
+
+type opRequest struct {
+	kind  OpKind
+	reg   *register
+	value any // value to write for OpWrite
+}
+
+type register struct {
+	name  string
+	value any
+}
+
+func (r *register) Name() string { return r.name }
+
+// memory is the shared register namespace. The registry map is guarded by a
+// mutex because processes may create registers concurrently during their
+// initialization phase (before their first step); register values are only
+// touched by the runner goroutine under the same lock.
+type memory struct {
+	mu   sync.Mutex
+	regs map[string]*register
+}
+
+func newMemory() *memory { return &memory{regs: make(map[string]*register)} }
+
+func (m *memory) reg(name string) *register {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.regs[name]
+	if !ok {
+		r = &register{name: name}
+		m.regs[name] = r
+	}
+	return r
+}
+
+func (m *memory) read(r *register) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return r.value
+}
+
+func (m *memory) write(r *register, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r.value = v
+}
+
+// snapshotNames returns the sorted names of all registers (diagnostics).
+func (m *memory) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.regs)
+}
+
+var errKilled = fmt.Errorf("sim: runner closed")
+
+type proc struct {
+	id     procset.ID
+	req    chan opRequest
+	resp   chan any
+	halted chan struct{} // closed when the algorithm function returns
+	// pending holds a request already received from the process but not yet
+	// executed; it is owned by the runner goroutine.
+	pending   *opRequest
+	isHalted  bool
+	everRan   bool
+	stepCount int
+}
+
+// procEnv implements Env for one process.
+type procEnv struct {
+	runner *Runner
+	proc   *proc
+}
+
+func (e *procEnv) Self() procset.ID { return e.proc.id }
+func (e *procEnv) N() int           { return e.runner.n }
+
+func (e *procEnv) Reg(name string) Ref { return e.runner.mem.reg(name) }
+
+func (e *procEnv) Read(r Ref) any {
+	return e.do(opRequest{kind: OpRead, reg: mustRegister(r)})
+}
+
+func (e *procEnv) Write(r Ref, v any) {
+	e.do(opRequest{kind: OpWrite, reg: mustRegister(r), value: v})
+}
+
+func mustRegister(r Ref) *register {
+	reg, ok := r.(*register)
+	if !ok {
+		panic(fmt.Sprintf("sim: foreign Ref %T passed to simulator env", r))
+	}
+	return reg
+}
+
+func (e *procEnv) do(req opRequest) any {
+	select {
+	case e.proc.req <- req:
+	case <-e.runner.kill:
+		panic(errKilled)
+	}
+	select {
+	case v := <-e.proc.resp:
+		return v
+	case <-e.runner.kill:
+		panic(errKilled)
+	}
+}
+
+// Runner drives an algorithm through explicit schedules.
+type Runner struct {
+	n     int
+	mem   *memory
+	procs []*proc
+	kill  chan struct{}
+	wg    sync.WaitGroup
+
+	observer func(StepInfo)
+	steps    int
+	closed   bool
+}
+
+// Config configures a Runner.
+type Config struct {
+	// N is the system size (1..procset.MaxProcs).
+	N int
+	// Algorithm returns the code for each process. It is called once per
+	// process id at construction.
+	Algorithm func(p procset.ID) Algorithm
+	// Observer, if non-nil, is invoked synchronously after every executed
+	// step, including no-op steps of halted processes.
+	Observer func(StepInfo)
+}
+
+// NewRunner starts the per-process coroutines and returns a runner ready for
+// stepping. Callers must call Close to release the coroutines.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.N < 1 || cfg.N > procset.MaxProcs {
+		return nil, fmt.Errorf("sim: n = %d out of range [1,%d]", cfg.N, procset.MaxProcs)
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("sim: Config.Algorithm is required")
+	}
+	r := &Runner{
+		n:        cfg.N,
+		mem:      newMemory(),
+		procs:    make([]*proc, cfg.N),
+		kill:     make(chan struct{}),
+		observer: cfg.Observer,
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := &proc{
+			id:     procset.ID(i + 1),
+			req:    make(chan opRequest),
+			resp:   make(chan any),
+			halted: make(chan struct{}),
+		}
+		r.procs[i] = p
+		algo := cfg.Algorithm(p.id)
+		if algo == nil {
+			close(r.kill)
+			return nil, fmt.Errorf("sim: Config.Algorithm returned nil for %v", p.id)
+		}
+		env := &procEnv{runner: r, proc: p}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer close(p.halted)
+			defer func() {
+				// Unwind cleanly when the runner shuts the simulation down.
+				if rec := recover(); rec != nil && rec != errKilled {
+					panic(rec)
+				}
+			}()
+			algo(env)
+		}()
+	}
+	return r, nil
+}
+
+// Steps returns the number of steps executed so far.
+func (r *Runner) Steps() int { return r.steps }
+
+// Registers returns the number of shared registers created so far.
+func (r *Runner) Registers() int { return r.mem.size() }
+
+// Halted reports whether the process's algorithm function has returned.
+func (r *Runner) Halted(p procset.ID) bool {
+	return r.procAt(p).isHalted
+}
+
+// StepsTaken returns the number of steps the process has taken.
+func (r *Runner) StepsTaken(p procset.ID) int { return r.procAt(p).stepCount }
+
+func (r *Runner) procAt(p procset.ID) *proc {
+	if p < 1 || procset.ID(r.n) < p {
+		panic(fmt.Sprintf("sim: process %v outside Π%d", p, r.n))
+	}
+	return r.procs[p-1]
+}
+
+// Step executes one step of process p: the process's pending memory
+// operation is performed, and the runner waits until the process posts its
+// next operation or halts. When the process has already halted, the step is
+// a no-op. Step must not be called after Close.
+func (r *Runner) Step(p procset.ID) StepInfo {
+	if r.closed {
+		panic("sim: Step after Close")
+	}
+	pr := r.procAt(p)
+	info := StepInfo{Index: r.steps, Proc: p}
+	r.steps++
+	if !r.fetchPending(pr) {
+		info.Kind = OpNoop
+		r.observe(info)
+		return info
+	}
+	req := *pr.pending
+	pr.pending = nil
+	pr.stepCount++
+	switch req.kind {
+	case OpRead:
+		v := r.mem.read(req.reg)
+		info.Kind, info.Reg, info.Value = OpRead, req.reg.name, v
+		pr.resp <- v
+	case OpWrite:
+		r.mem.write(req.reg, req.value)
+		info.Kind, info.Reg, info.Value = OpWrite, req.reg.name, req.value
+		pr.resp <- nil
+	default:
+		panic(fmt.Sprintf("sim: unknown op kind %v", req.kind))
+	}
+	// Park barrier: wait until the process has finished the local
+	// computation that follows the operation, i.e. until it posts its next
+	// operation or its function returns. This keeps execution serial and
+	// lets the harness inspect shared state safely between steps.
+	r.fetchPending(pr)
+	r.observe(info)
+	return info
+}
+
+// fetchPending ensures pr.pending holds the process's next request, blocking
+// until the process posts one or halts. It reports false when the process
+// has halted with no pending request.
+func (r *Runner) fetchPending(pr *proc) bool {
+	if pr.isHalted {
+		return false
+	}
+	if pr.pending != nil {
+		return true
+	}
+	select {
+	case req := <-pr.req:
+		pr.pending = &req
+		return true
+	case <-pr.halted:
+		// Drain a request that may have been posted concurrently with the
+		// halt of a different code path; channels are unbuffered so a halted
+		// process cannot have one in flight, but keep the check defensive.
+		pr.isHalted = true
+		return false
+	}
+}
+
+func (r *Runner) observe(info StepInfo) {
+	if r.observer != nil {
+		r.observer(info)
+	}
+}
+
+// RunResult summarizes a Run invocation.
+type RunResult struct {
+	// Steps is the number of steps executed by this Run call.
+	Steps int
+	// Stopped reports whether the stop predicate ended the run (as opposed
+	// to the step budget running out).
+	Stopped bool
+}
+
+// Run drives the runner with steps from src until the stop predicate returns
+// true (checked every checkEvery steps; 0 means every step) or maxSteps have
+// been executed. stop may be nil.
+func (r *Runner) Run(src sched.Source, maxSteps, checkEvery int, stop func() bool) RunResult {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	for i := 0; i < maxSteps; i++ {
+		r.Step(src.Next())
+		if stop != nil && (i+1)%checkEvery == 0 && stop() {
+			return RunResult{Steps: i + 1, Stopped: true}
+		}
+	}
+	return RunResult{Steps: maxSteps, Stopped: false}
+}
+
+// RunSchedule executes a fixed finite schedule.
+func (r *Runner) RunSchedule(s sched.Schedule) {
+	for _, p := range s {
+		r.Step(p)
+	}
+}
+
+// Close terminates all process coroutines and waits for them to exit. The
+// runner must not be used afterwards. Close is idempotent.
+func (r *Runner) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	close(r.kill)
+	// Release processes whose requests were fetched but never answered.
+	r.wg.Wait()
+}

@@ -1,0 +1,39 @@
+package snapshot
+
+import (
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// BenchmarkUpdateScanThroughput measures simulated steps per second through
+// the snapshot object under contention.
+func BenchmarkUpdateScanThroughput(b *testing.B) {
+	n := 4
+	runner, err := sim.NewRunner(sim.Config{
+		N: n,
+		Algorithm: func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				o := New(env, "obj")
+				for i := 0; ; i++ {
+					o.Update(i)
+					o.Scan()
+				}
+			}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer runner.Close()
+	src, err := sched.Random(n, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Step(src.Next())
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-----") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// Columns align: "alpha" is the widest first-column cell.
+	if !strings.HasPrefix(lines[3], "alpha  ") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, 2)
+	out := tb.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "x")
+	tb.AddRow("y")
+	if strings.HasPrefix(tb.Render(), "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]int{5, 1, 3, 2, 4})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3.0 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if got := s.String(); !strings.Contains(got, "p50=3") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	t.Parallel()
+	s := Summarize(nil)
+	if s.Count != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() != "n=0" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
+	in := []int{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]int{7})
+	if s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.P99 != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,290 @@
+package settimeliness
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/antiomega"
+	"github.com/settimeliness/settimeliness/internal/check"
+	"github.com/settimeliness/settimeliness/internal/core"
+	"github.com/settimeliness/settimeliness/internal/fd"
+	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// Core model types, re-exported from the internal packages.
+type (
+	// ProcID identifies a process (1..n).
+	ProcID = procset.ID
+	// ProcSet is an immutable set of processes.
+	ProcSet = procset.Set
+	// Schedule is a finite schedule: a sequence of process ids.
+	Schedule = sched.Schedule
+	// SystemID identifies a partially synchronous system S^i_{j,n}.
+	SystemID = core.SystemID
+	// Problem identifies a (t,k,n)-agreement instance.
+	Problem = core.Problem
+)
+
+// NewSet builds a process set from ids.
+func NewSet(ids ...ProcID) ProcSet { return procset.MakeSet(ids...) }
+
+// AllProcs returns Πn = {1..n}.
+func AllProcs(n int) ProcSet { return procset.FullSet(n) }
+
+// Sij identifies the system S^i_{j,n}: n processes with at least one set of
+// size i timely with respect to at least one set of size j.
+func Sij(i, j, n int) SystemID { return core.Sij(i, j, n) }
+
+// NewProblem identifies (t,k,n)-agreement.
+func NewProblem(t, k, n int) Problem { return core.Problem{T: t, K: k, N: n} }
+
+// IsTimely reports Definition 1 on a finite schedule: every window of s
+// containing bound steps of processes in q contains a step of a process in
+// p.
+func IsTimely(s Schedule, p, q ProcSet, bound int) bool { return sched.IsTimely(s, p, q, bound) }
+
+// MinBound returns the smallest bound with which p is timely with respect
+// to q in s.
+func MinBound(s Schedule, p, q ProcSet) int { return sched.MinBound(s, p, q) }
+
+// ParseSchedule parses "p1 p3 p1" (or bare ids "1 3 1").
+func ParseSchedule(text string) (Schedule, error) { return sched.Parse(text) }
+
+// Figure1Prefix builds the first rounds of the paper's Figure 1 schedule
+// S = [(p1·q)^i (p2·q)^i].
+func Figure1Prefix(p1, p2, q ProcID, rounds int) Schedule {
+	return sched.Figure1Prefix(p1, p2, q, rounds)
+}
+
+// Solvable answers the paper's main question (Theorem 27): is
+// (t,k,n)-agreement solvable in S^i_{j,n}?
+func Solvable(t, k, n, i, j int) (bool, error) {
+	return core.Problem{T: t, K: k, N: n}.SolvableIn(core.Sij(i, j, n))
+}
+
+// MatchingSystem returns S^k_{t+1,n}, the weakest system of the family in
+// which (t,k,n)-agreement is solvable (Theorems 24 and 27).
+func MatchingSystem(t, k, n int) SystemID {
+	return core.Problem{T: t, K: k, N: n}.MatchingSystem()
+}
+
+// SolveConfig configures a simulated agreement run.
+type SolveConfig struct {
+	// Problem is the (t,k,n)-agreement instance to solve.
+	Problem Problem
+	// System selects the S^i_{j,n} schedule generator; the zero value means
+	// the problem's matching system.
+	System SystemID
+	// Proposals maps processes to initial values; nil means "v<p>".
+	Proposals map[ProcID]any
+	// Crashes maps processes to the number of steps they take before
+	// crashing. At most Problem.T crashes keep the termination guarantee.
+	Crashes map[ProcID]int
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxSteps bounds the run; 0 means a generous default.
+	MaxSteps int
+	// TimelinessBound is the Definition 1 constant enforced by the schedule
+	// generator; 0 means 4.
+	TimelinessBound int
+}
+
+// SolveResult reports a simulated agreement run.
+type SolveResult struct {
+	// Decided reports whether every correct process decided in budget.
+	Decided bool
+	// Decisions maps deciders to their decided values.
+	Decisions map[ProcID]any
+	// Distinct is the number of distinct decided values (≤ k on success).
+	Distinct int
+	// Steps is the number of executed steps.
+	Steps int
+	// Correct is the set of processes correct in the generated schedule.
+	Correct ProcSet
+}
+
+// Solve runs the paper's positive construction for the configured problem
+// and system on a simulated shared memory, then verifies uniform
+// k-agreement, uniform validity, and (within the crash budget) termination.
+// It returns an error if the combination is unsolvable (Theorem 27), if the
+// configuration is invalid, or if the run violates a property.
+func Solve(cfg SolveConfig) (SolveResult, error) {
+	var out SolveResult
+	p := cfg.Problem
+	sys := cfg.System
+	if sys == (SystemID{}) {
+		sys = p.MatchingSystem()
+	}
+	kcfg, err := p.AgreementConfig(sys)
+	if err != nil {
+		return out, err
+	}
+	bound := cfg.TimelinessBound
+	if bound == 0 {
+		bound = 4
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 4_000_000
+	}
+	proposals := cfg.Proposals
+	if proposals == nil {
+		proposals = make(map[ProcID]any, p.N)
+		for q := 1; q <= p.N; q++ {
+			proposals[ProcID(q)] = fmt.Sprintf("v%d", q)
+		}
+	}
+	for q := 1; q <= p.N; q++ {
+		if proposals[ProcID(q)] == nil {
+			return out, fmt.Errorf("settimeliness: missing proposal for p%d", q)
+		}
+	}
+
+	var src sched.Source
+	if kcfg.UsesTrivialAlgorithm() {
+		src, err = sched.Random(p.N, cfg.Seed, cfg.Crashes)
+	} else {
+		src, _, err = sched.System(p.N, sys.I, sys.J, bound, cfg.Seed, cfg.Crashes)
+	}
+	if err != nil {
+		return out, err
+	}
+
+	ag, err := kset.New(kcfg, nil)
+	if err != nil {
+		return out, err
+	}
+	runner, err := sim.NewRunner(sim.Config{
+		N:         p.N,
+		Algorithm: ag.Algorithm(func(q ProcID) any { return proposals[q] }),
+	})
+	if err != nil {
+		return out, err
+	}
+	defer runner.Close()
+
+	correct := src.Correct()
+	res := runner.Run(src, maxSteps, 200, func() bool {
+		return correct.SubsetOf(ag.DecidedSet())
+	})
+
+	out.Decided = res.Stopped
+	out.Steps = runner.Steps()
+	out.Correct = correct
+	out.Distinct = ag.DistinctDecisions()
+	out.Decisions = make(map[ProcID]any)
+	for q := 1; q <= p.N; q++ {
+		if v, ok := ag.Decision(ProcID(q)); ok {
+			out.Decisions[ProcID(q)] = v
+		}
+	}
+	run := check.AgreementRun{
+		N: p.N, K: p.K, T: p.T,
+		Proposals: proposals,
+		Decisions: out.Decisions,
+		Correct:   correct,
+	}
+	if len(cfg.Crashes) <= p.T && !out.Decided {
+		return out, fmt.Errorf("settimeliness: run did not decide within %d steps", maxSteps)
+	}
+	if err := run.Verify(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// DetectorConfig configures a standalone Figure 2 run.
+type DetectorConfig struct {
+	// N, K, T parameterize t-resilient k-anti-Ω.
+	N, K, T int
+	// Crashes, Seed, MaxSteps, TimelinessBound as in SolveConfig.
+	Crashes         map[ProcID]int
+	Seed            int64
+	MaxSteps        int
+	TimelinessBound int
+}
+
+// DetectorResult reports a standalone Figure 2 run.
+type DetectorResult struct {
+	// Stable reports whether the correct processes converged to a common
+	// winnerset within the budget.
+	Stable bool
+	// Winnerset is the stable common winnerset (the paper's A0).
+	Winnerset ProcSet
+	// Witness is a correct process eventually excluded from every correct
+	// process's detector output.
+	Witness ProcID
+	// StableFrom is the step from which the witness was never output again.
+	StableFrom int
+	// Steps is the number of executed steps.
+	Steps int
+}
+
+// RunDetector runs the Figure 2 implementation of t-resilient k-anti-Ω in
+// its matching system S^k_{t+1,n} and checks the detector property on the
+// recorded run.
+func RunDetector(cfg DetectorConfig) (DetectorResult, error) {
+	var out DetectorResult
+	acfg := antiomega.Config{N: cfg.N, K: cfg.K, T: cfg.T}
+	if err := acfg.Validate(); err != nil {
+		return out, err
+	}
+	bound := cfg.TimelinessBound
+	if bound == 0 {
+		bound = 4
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000
+	}
+	src, _, err := sched.System(cfg.N, cfg.K, cfg.T+1, bound, cfg.Seed, cfg.Crashes)
+	if err != nil {
+		return out, err
+	}
+
+	hist := fd.NewHistory(cfg.N)
+	var runner *sim.Runner
+	det, err := antiomega.NewDetector(acfg, func(p ProcID, set ProcSet) {
+		hist.Record(runner.Steps(), p, set)
+	})
+	if err != nil {
+		return out, err
+	}
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: det.Algorithm})
+	if err != nil {
+		return out, err
+	}
+	defer runner.Close()
+
+	correct := src.Correct()
+	streak := 0
+	var last ProcSet
+	res := runner.Run(src, maxSteps, 500, func() bool {
+		w, ok := det.StableWinnerset(correct)
+		if !ok {
+			streak = 0
+			return false
+		}
+		if w == last {
+			streak++
+		} else {
+			last, streak = w, 1
+		}
+		return streak >= 20
+	})
+	out.Stable = res.Stopped
+	out.Steps = runner.Steps()
+	if w, ok := det.StableWinnerset(correct); ok {
+		out.Winnerset = w
+	}
+	verdict := hist.Check(cfg.K, correct)
+	if verdict.Holds {
+		out.Witness = verdict.Witness
+		out.StableFrom = verdict.StableFrom
+	} else if out.Stable {
+		return out, fmt.Errorf("settimeliness: detector stabilized but property check failed: %s", verdict.Reason)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package settimeliness
+
+import (
+	"testing"
+)
+
+func TestSolvablePredicateAPI(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		t, k, n, i, j int
+		want          bool
+	}{
+		{2, 2, 4, 2, 3, true},  // matching system
+		{3, 2, 5, 2, 3, false}, // j−i too small
+		{2, 2, 5, 3, 5, false}, // i > k
+		{1, 2, 3, 1, 1, true},  // k ≥ t+1 anywhere
+		{3, 2, 6, 2, 4, true},  // boundary j−i = t+1−k
+	}
+	for _, tc := range tests {
+		got, err := Solvable(tc.t, tc.k, tc.n, tc.i, tc.j)
+		if err != nil {
+			t.Fatalf("Solvable(%d,%d,%d,%d,%d): %v", tc.t, tc.k, tc.n, tc.i, tc.j, err)
+		}
+		if got != tc.want {
+			t.Errorf("Solvable(%d,%d,%d,%d,%d) = %v, want %v", tc.t, tc.k, tc.n, tc.i, tc.j, got, tc.want)
+		}
+	}
+	if _, err := Solvable(0, 1, 3, 1, 1); err == nil {
+		t.Error("invalid t accepted")
+	}
+}
+
+func TestMatchingSystemAPI(t *testing.T) {
+	t.Parallel()
+	if got := MatchingSystem(2, 2, 4); got != Sij(2, 3, 4) {
+		t.Errorf("MatchingSystem(2,2,4) = %v", got)
+	}
+	if got := MatchingSystem(1, 2, 4); got != Sij(1, 1, 4) {
+		t.Errorf("MatchingSystem for trivial case = %v, want asynchronous", got)
+	}
+}
+
+func TestScheduleAnalysisAPI(t *testing.T) {
+	t.Parallel()
+	s := Figure1Prefix(1, 2, 3, 10)
+	if !IsTimely(s, NewSet(1, 2), NewSet(3), 2) {
+		t.Error("pair should be timely with bound 2")
+	}
+	if IsTimely(s, NewSet(1), NewSet(3), 5) {
+		t.Error("singleton should not be timely with bound 5 at 10 rounds")
+	}
+	if got := MinBound(s, NewSet(1, 2), NewSet(3)); got != 2 {
+		t.Errorf("MinBound = %d", got)
+	}
+	parsed, err := ParseSchedule("p1 p3 p2")
+	if err != nil || len(parsed) != 3 {
+		t.Errorf("ParseSchedule = %v, %v", parsed, err)
+	}
+	if AllProcs(3) != NewSet(1, 2, 3) {
+		t.Error("AllProcs mismatch")
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	t.Parallel()
+	res, err := Solve(SolveConfig{
+		Problem: NewProblem(2, 2, 4),
+		Crashes: map[ProcID]int{4: 50},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Decided {
+		t.Fatal("run did not decide")
+	}
+	if res.Distinct > 2 {
+		t.Errorf("distinct = %d, want ≤ 2", res.Distinct)
+	}
+	if len(res.Decisions) < 3 {
+		t.Errorf("only %d processes decided", len(res.Decisions))
+	}
+}
+
+func TestSolveTrivialPath(t *testing.T) {
+	t.Parallel()
+	res, err := Solve(SolveConfig{
+		Problem:  NewProblem(1, 2, 3),
+		System:   Sij(1, 1, 3), // asynchronous: k ≥ t+1 is solvable there
+		Seed:     5,
+		MaxSteps: 200_000,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Decided || res.Distinct > 2 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestSolveRejectsUnsolvable(t *testing.T) {
+	t.Parallel()
+	_, err := Solve(SolveConfig{
+		Problem: NewProblem(3, 2, 5),
+		System:  Sij(2, 3, 5),
+	})
+	if err == nil {
+		t.Fatal("unsolvable combination accepted")
+	}
+}
+
+func TestSolveCustomProposals(t *testing.T) {
+	t.Parallel()
+	res, err := Solve(SolveConfig{
+		Problem:   NewProblem(1, 1, 3),
+		Proposals: map[ProcID]any{1: 100, 2: 200, 3: 300},
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for p, v := range res.Decisions {
+		if v != 100 && v != 200 && v != 300 {
+			t.Errorf("p%d decided %v", p, v)
+		}
+	}
+	if res.Distinct != 1 {
+		t.Errorf("consensus decided %d values", res.Distinct)
+	}
+	// Missing proposal is rejected.
+	if _, err := Solve(SolveConfig{
+		Problem:   NewProblem(1, 1, 3),
+		Proposals: map[ProcID]any{1: 100},
+	}); err == nil {
+		t.Error("partial proposals accepted")
+	}
+}
+
+func TestRunDetectorAPI(t *testing.T) {
+	t.Parallel()
+	res, err := RunDetector(DetectorConfig{
+		N: 4, K: 2, T: 2,
+		Crashes: map[ProcID]int{4: 30},
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatalf("RunDetector: %v", err)
+	}
+	if !res.Stable {
+		t.Fatal("detector did not stabilize")
+	}
+	if res.Winnerset.Size() != 2 {
+		t.Errorf("winnerset = %v", res.Winnerset)
+	}
+	if res.Witness == 0 {
+		t.Error("no witness reported")
+	}
+	if res.Witness == 4 {
+		t.Error("crashed process reported as witness")
+	}
+}
+
+func TestRunDetectorValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := RunDetector(DetectorConfig{N: 2, K: 2, T: 1}); err == nil {
+		t.Error("k = n accepted")
+	}
+}
