@@ -5,12 +5,16 @@
 //	stm-bench -quick          reduced budgets
 //	stm-bench -id E5          a single experiment
 //	stm-bench -markdown       emit tables as markdown (for EXPERIMENTS.md)
+//	stm-bench -json           one machine-readable record per experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"github.com/settimeliness/settimeliness/internal/experiments"
 )
@@ -18,18 +22,30 @@ import (
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "reduced budgets")
-		id       = flag.String("id", "", "run a single experiment (E1..E8)")
+		id       = flag.String("id", "", "run a single experiment (E1..E9)")
 		seed     = flag.Int64("seed", 1, "base seed")
 		markdown = flag.Bool("markdown", false, "emit tables as markdown")
+		jsonOut  = flag.Bool("json", false, "emit one JSON record per experiment (for perf tracking)")
 	)
 	flag.Parse()
-	if err := run(*quick, *id, *seed, *markdown); err != nil {
+	if err := run(os.Stdout, *quick, *id, *seed, *markdown, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, id string, seed int64, markdown bool) error {
+// benchRecord is the -json line emitted per experiment: enough to track the
+// reproduction status and wall-clock trajectory across commits.
+type benchRecord struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	Pass      bool   `json:"pass"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Quick     bool   `json:"quick"`
+	Seed      int64  `json:"seed"`
+}
+
+func run(w io.Writer, quick bool, id string, seed int64, markdown, jsonOut bool) error {
 	cfg := experiments.Config{Quick: quick, Seed: seed}
 	list := experiments.All()
 	if id != "" {
@@ -39,27 +55,37 @@ func run(quick bool, id string, seed int64, markdown bool) error {
 		}
 		list = []experiments.Experiment{e}
 	}
+	enc := json.NewEncoder(w)
 	failures := 0
 	for _, e := range list {
+		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if markdown {
+		switch {
+		case jsonOut:
+			if err := enc.Encode(benchRecord{
+				ID: res.ID, Title: res.Title, Pass: res.Pass,
+				ElapsedNS: int64(time.Since(start)), Quick: quick, Seed: seed,
+			}); err != nil {
+				return err
+			}
+		case markdown:
 			status := "REPRODUCED"
 			if !res.Pass {
 				status = "FAILED"
 			}
-			fmt.Printf("### %s — %s [%s]\n\n> %s\n\n", res.ID, res.Title, status, res.Claim)
+			fmt.Fprintf(w, "### %s — %s [%s]\n\n> %s\n\n", res.ID, res.Title, status, res.Claim)
 			for _, note := range res.Notes {
-				fmt.Printf("*%s*\n\n", note)
+				fmt.Fprintf(w, "*%s*\n\n", note)
 			}
 			for _, tb := range res.Tables {
-				fmt.Println(tb.Markdown())
+				fmt.Fprintln(w, tb.Markdown())
 			}
-		} else {
-			fmt.Println(res.Render())
-			fmt.Println()
+		default:
+			fmt.Fprintln(w, res.Render())
+			fmt.Fprintln(w)
 		}
 		if !res.Pass {
 			failures++

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// E1 is pure schedule analysis — fast enough to smoke the runner through
+// every output mode.
+
+func TestRunSingleExperiment(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run(&out, true, "E1", 1, false, false); err != nil {
+		t.Fatalf("E1 failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "E1") || !strings.Contains(out.String(), "REPRODUCED") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunMarkdownMode(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run(&out, true, "E1", 1, true, false); err != nil {
+		t.Fatalf("E1 markdown failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "### E1") {
+		t.Errorf("markdown heading missing:\n%s", out.String())
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run(&out, true, "E1", 1, false, true); err != nil {
+		t.Fatalf("E1 json failed: %v", err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if rec.ID != "E1" || !rec.Pass || rec.ElapsedNS <= 0 || !rec.Quick {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+	if err := run(&bytes.Buffer{}, true, "E99", 1, false, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

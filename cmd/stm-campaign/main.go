@@ -1,0 +1,418 @@
+// stm-campaign runs named simulation campaigns — large batches of
+// independent deterministic runs sharded across a worker pool
+// (internal/campaign). The same seed produces a bit-identical summary at any
+// worker count; only wall-clock time changes.
+//
+//	stm-campaign matrix -t 2 -k 2 -n 4                 empirical Theorem 27 matrix
+//	stm-campaign matrix -t 1:2 -k 1:2 -n 4:5           sweep over (t,k,n) ranges
+//	stm-campaign fuzz -target commitadopt -schedules 10000
+//	stm-campaign converge -n 4 -k 2 -t 2 -trials 64
+//	stm-campaign relations -n 4 -schedules 200
+//
+// Global-ish flags on every subcommand: -workers (0 = GOMAXPROCS), -seed,
+// -json (machine-readable summary on stdout), -jsonl FILE (stream one JSON
+// record per job).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/settimeliness/settimeliness/internal/campaign"
+	"github.com/settimeliness/settimeliness/internal/core"
+	"github.com/settimeliness/settimeliness/internal/experiments"
+	"github.com/settimeliness/settimeliness/internal/explore"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "matrix":
+		err = cmdMatrix(os.Args[2:], os.Stdout)
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:], os.Stdout)
+	case "converge":
+		err = cmdConverge(os.Args[2:], os.Stdout)
+	case "relations":
+		err = cmdRelations(os.Args[2:], os.Stdout)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stm-campaign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  stm-campaign matrix    -t T -k K -n N [-posbudget B] [-negbudget B]   empirical Theorem 27 matrices
+  stm-campaign fuzz      -target commitadopt|consensus -schedules S     schedule fuzzing
+  stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
+  stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
+T, K, N accept single values ("2") or inclusive ranges ("1:3").
+Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE`)
+}
+
+// common holds the flags every campaign shares.
+type common struct {
+	workers  int
+	seed     int64
+	jsonOut  bool
+	jsonlOut string
+}
+
+func (c *common) register(fs *flag.FlagSet) {
+	fs.IntVar(&c.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.Int64Var(&c.seed, "seed", 1, "campaign master seed")
+	fs.BoolVar(&c.jsonOut, "json", false, "emit a machine-readable JSON summary on stdout")
+	fs.StringVar(&c.jsonlOut, "jsonl", "", "stream one JSON record per job to this file")
+}
+
+// sink opens the -jsonl stream; the returned close function also surfaces
+// encoding errors observed during the run.
+func (c *common) sink() (func(campaign.Outcome), func() error, error) {
+	if c.jsonlOut == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(c.jsonlOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink, sinkErr := campaign.JSONLSink(f)
+	closeFn := func() error {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return *sinkErr
+	}
+	return sink, closeFn, nil
+}
+
+// record is the -json summary envelope shared by all subcommands.
+type record struct {
+	Campaign  string           `json:"campaign"`
+	Params    map[string]any   `json:"params"`
+	Seed      int64            `json:"seed"`
+	Workers   int              `json:"workers"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Summary   campaign.Summary `json:"summary"`
+}
+
+func emit(w io.Writer, c common, name string, params map[string]any, rep *campaign.Report) error {
+	if c.jsonOut {
+		enc := json.NewEncoder(w)
+		return enc.Encode(record{
+			Campaign:  name,
+			Params:    params,
+			Seed:      c.seed,
+			Workers:   rep.Workers,
+			ElapsedNS: int64(rep.Elapsed),
+			Summary:   rep.Summary,
+		})
+	}
+	s := rep.Summary
+	fmt.Fprintf(w, "campaign %s: %d jobs, %d completed, %d ok, %d failed (workers=%d, %.3fs)\n",
+		name, s.Jobs, s.Completed, s.Ok, s.Failed, rep.Workers, rep.Elapsed.Seconds())
+	if len(s.Verdicts) > 0 {
+		fmt.Fprintf(w, "verdicts: %v\n", s.Verdicts)
+	}
+	if s.Completed > 0 {
+		fmt.Fprintf(w, "steps: min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f\n",
+			s.Steps.Min, s.Steps.P50, s.Steps.P90, s.Steps.P99, s.Steps.Max, s.Steps.Mean)
+	}
+	return nil
+}
+
+// parseRange parses "2" or "1:3" into an inclusive [lo, hi].
+func parseRange(text string) (int, int, error) {
+	lo, hi, found := strings.Cut(text, ":")
+	l, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", text, err)
+	}
+	if !found {
+		return l, l, nil
+	}
+	h, err := strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q: %v", text, err)
+	}
+	if h < l {
+		return 0, 0, fmt.Errorf("bad range %q: empty", text)
+	}
+	return l, h, nil
+}
+
+func cmdMatrix(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	tRange := fs.String("t", "2", "resilience t (value or lo:hi range)")
+	kRange := fs.String("k", "2", "agreement parameter k (value or range)")
+	nRange := fs.String("n", "4", "system size n (value or range)")
+	posBudget := fs.Int("posbudget", 3_000_000, "step budget for solvable cells")
+	negBudget := fs.Int("negbudget", 300_000, "step horizon for unsolvable cells")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t0, t1, err := parseRange(*tRange)
+	if err != nil {
+		return err
+	}
+	k0, k1, err := parseRange(*kRange)
+	if err != nil {
+		return err
+	}
+	n0, n1, err := parseRange(*nRange)
+	if err != nil {
+		return err
+	}
+	var problems []core.Problem
+	for n := n0; n <= n1; n++ {
+		for t := t0; t <= t1; t++ {
+			for k := k0; k <= k1; k++ {
+				p := core.Problem{T: t, K: k, N: n}
+				if p.Validate() == nil {
+					problems = append(problems, p)
+				}
+			}
+		}
+	}
+	if len(problems) == 0 {
+		return fmt.Errorf("no valid (t,k,n) problems in t=%s k=%s n=%s", *tRange, *kRange, *nRange)
+	}
+	sink, closeSink, err := c.sink()
+	if err != nil {
+		return err
+	}
+	cells, rep, err := experiments.MatrixSweep(context.Background(), problems, c.seed, *posBudget, *negBudget, c.workers, sink)
+	if cerr := closeSink(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !c.jsonOut {
+		var tb *trace.Table
+		var last core.Problem
+		for _, cell := range cells {
+			if tb == nil || cell.Problem != last {
+				if tb != nil {
+					fmt.Fprintln(w, tb.Render())
+				}
+				last = cell.Problem
+				tb = trace.NewTable(fmt.Sprintf("Theorem 27 matrix for %v", cell.Problem),
+					"i", "j", "theory", "empirical", "match")
+			}
+			theory := "unsolvable"
+			if cell.Theory {
+				theory = "solvable"
+			}
+			match := "yes"
+			if !cell.Match {
+				match = "NO"
+			}
+			tb.AddRow(cell.I, cell.J, theory, cell.Empirical, match)
+		}
+		if tb != nil {
+			fmt.Fprintln(w, tb.Render())
+		}
+	}
+	if err := emit(w, c, "matrix", map[string]any{
+		"t": *tRange, "k": *kRange, "n": *nRange,
+		"posbudget": *posBudget, "negbudget": *negBudget,
+		"problems": len(problems),
+	}, rep); err != nil {
+		return err
+	}
+	if rep.Summary.Failed > 0 {
+		return fmt.Errorf("%d cells did not match the characterization", rep.Summary.Failed)
+	}
+	return nil
+}
+
+func cmdFuzz(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	target := fs.String("target", explore.TargetCommitAdopt, "protocol to fuzz (commitadopt|consensus)")
+	n := fs.Int("n", 4, "number of processes")
+	steps := fs.Int("steps", 300, "steps per schedule")
+	schedules := fs.Int("schedules", 1000, "number of schedules")
+	crashSpec := fs.String("crashes", "", "crash patterns, e.g. \"p1@3;p2@0,p4@9\" (empty = failure-free)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	build, err := explore.TargetBuilder(*target, *n)
+	if err != nil {
+		return err
+	}
+	patterns, err := parseCrashPatterns(*crashSpec)
+	if err != nil {
+		return err
+	}
+	sink, closeSink, err := c.sink()
+	if err != nil {
+		return err
+	}
+	rep, runs, err := explore.FuzzCampaign(context.Background(), c.workers, *n, *steps, *schedules, c.seed, patterns, build, sink)
+	if cerr := closeSink(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		var v *explore.Violation
+		if rep != nil && errors.As(err, &v) {
+			// Keep stdout parseable in -json mode: the human-readable
+			// violation line goes to stderr there.
+			dst := w
+			if c.jsonOut {
+				dst = os.Stderr
+			}
+			fmt.Fprintf(dst, "VIOLATION after %d runs: %v\n", runs, v)
+			if eerr := emit(w, c, "fuzz", fuzzParams(*target, *n, *steps, *schedules), rep); eerr != nil {
+				return eerr
+			}
+			return fmt.Errorf("fuzz campaign found a violation")
+		}
+		return err
+	}
+	return emit(w, c, "fuzz", fuzzParams(*target, *n, *steps, *schedules), rep)
+}
+
+func fuzzParams(target string, n, steps, schedules int) map[string]any {
+	return map[string]any{"target": target, "n": n, "steps": steps, "schedules": schedules}
+}
+
+// parseCrashPatterns parses "p1@3;p2@0,p4@9": patterns separated by ';',
+// each a comma-separated list of proc@steps entries.
+func parseCrashPatterns(spec string) ([]map[procset.ID]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var patterns []map[procset.ID]int
+	for _, pat := range strings.Split(spec, ";") {
+		m := make(map[procset.ID]int)
+		for _, entry := range strings.Split(pat, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			procText, stepText, found := strings.Cut(entry, "@")
+			if !found {
+				return nil, fmt.Errorf("bad crash entry %q (want p<i>@<steps>)", entry)
+			}
+			procText = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(procText), "p"))
+			id, err := strconv.Atoi(procText)
+			if err != nil {
+				return nil, fmt.Errorf("bad crash entry %q: %v", entry, err)
+			}
+			at, err := strconv.Atoi(strings.TrimSpace(stepText))
+			if err != nil {
+				return nil, fmt.Errorf("bad crash entry %q: %v", entry, err)
+			}
+			m[procset.ID(id)] = at
+		}
+		if len(m) > 0 {
+			patterns = append(patterns, m)
+		}
+	}
+	return patterns, nil
+}
+
+func cmdConverge(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("converge", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	n := fs.Int("n", 4, "system size n")
+	k := fs.Int("k", 2, "detector parameter k")
+	t := fs.Int("t", 2, "resilience t")
+	bound := fs.Int("bound", 4, "Definition 1 bound enforced by the generator")
+	trials := fs.Int("trials", 32, "independent trials")
+	maxSteps := fs.Int("maxsteps", 2_000_000, "step budget per trial")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sink, closeSink, err := c.sink()
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.RunConvergenceSweep(context.Background(), experiments.ConvergenceConfig{
+		N: *n, K: *k, T: *t, Bound: *bound, Trials: *trials, MaxSteps: *maxSteps, Workers: c.workers,
+	}, c.seed, sink)
+	if cerr := closeSink(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := emit(w, c, "converge", map[string]any{
+		"n": *n, "k": *k, "t": *t, "bound": *bound, "trials": *trials,
+	}, rep); err != nil {
+		return err
+	}
+	if rep.Summary.Failed > 0 {
+		return fmt.Errorf("%d trials failed to converge or violated the property", rep.Summary.Failed)
+	}
+	return nil
+}
+
+func cmdRelations(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("relations", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	n := fs.Int("n", 4, "system size n (2..6)")
+	bound := fs.Int("bound", 4, "Definition 1 bound tested")
+	steps := fs.Int("steps", 2000, "prefix length analyzed per schedule")
+	schedules := fs.Int("schedules", 100, "population size")
+	gen := fs.String("gen", "mixed", "schedule generator: random|starver|mixed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sink, closeSink, err := c.sink()
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.RunRelationsCampaign(context.Background(), experiments.RelationsConfig{
+		N: *n, Bound: *bound, Steps: *steps, Schedules: *schedules, Generator: *gen, Workers: c.workers,
+	}, c.seed, sink)
+	if cerr := closeSink(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !c.jsonOut {
+		tb := trace.NewTable(
+			fmt.Sprintf("empirical timeliness relations over %d schedules (bound %d)", rep.Summary.Completed, *bound),
+			"system", "held", "fraction")
+		for i := 1; i <= *n; i++ {
+			for j := i; j <= *n; j++ {
+				held := rep.Summary.Tallies[experiments.RelationKey(i, j)]
+				frac := 0.0
+				if rep.Summary.Completed > 0 {
+					frac = float64(held) / float64(rep.Summary.Completed)
+				}
+				tb.AddRow(fmt.Sprintf("S^%d_{%d,%d}", i, j, *n), held, fmt.Sprintf("%.2f", frac))
+			}
+		}
+		fmt.Fprintln(w, tb.Render())
+	}
+	return emit(w, c, "relations", map[string]any{
+		"n": *n, "bound": *bound, "steps": *steps, "schedules": *schedules, "gen": *gen,
+	}, rep)
+}

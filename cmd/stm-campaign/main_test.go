@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	t.Parallel()
+	lo, hi, err := parseRange("2")
+	if err != nil || lo != 2 || hi != 2 {
+		t.Errorf("parseRange(2) = %d,%d,%v", lo, hi, err)
+	}
+	lo, hi, err = parseRange("1:3")
+	if err != nil || lo != 1 || hi != 3 {
+		t.Errorf("parseRange(1:3) = %d,%d,%v", lo, hi, err)
+	}
+	if _, _, err := parseRange("3:1"); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, _, err := parseRange("x"); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestParseCrashPatterns(t *testing.T) {
+	t.Parallel()
+	patterns, err := parseCrashPatterns("p1@3;p2@0,p4@9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 2 || patterns[0][1] != 3 || patterns[1][2] != 0 || patterns[1][4] != 9 {
+		t.Errorf("patterns = %v", patterns)
+	}
+	if got, err := parseCrashPatterns(""); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v", got, err)
+	}
+	if _, err := parseCrashPatterns("p1=3"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+func TestMatrixCampaignSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	err := cmdMatrix([]string{"-t", "1", "-k", "1", "-n", "2",
+		"-posbudget", "500000", "-negbudget", "20000", "-workers", "2", "-json"}, &out)
+	if err != nil {
+		t.Fatalf("matrix campaign failed: %v\noutput: %s", err, out.String())
+	}
+	var rec record
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if rec.Campaign != "matrix" || rec.Summary.Jobs != 3 || rec.Summary.Failed != 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestFuzzCampaignSmokeWithJSONL(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+	var out bytes.Buffer
+	err := cmdFuzz([]string{"-target", "commitadopt", "-n", "3", "-steps", "60",
+		"-schedules", "40", "-crashes", "p1@3", "-workers", "2", "-json", "-jsonl", path}, &out)
+	if err != nil {
+		t.Fatalf("fuzz campaign failed: %v\noutput: %s", err, out.String())
+	}
+	var rec record
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if rec.Summary.Tallies["runs"] != 40 {
+		t.Errorf("runs = %d, want 40", rec.Summary.Tallies["runs"])
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "{") {
+			t.Errorf("non-JSON line: %s", sc.Text())
+		}
+		lines++
+	}
+	if lines != rec.Summary.Completed {
+		t.Errorf("jsonl lines = %d, completed = %d", lines, rec.Summary.Completed)
+	}
+}
+
+func TestConvergeCampaignSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	err := cmdConverge([]string{"-n", "3", "-k", "1", "-t", "1", "-trials", "3", "-workers", "2", "-json"}, &out)
+	if err != nil {
+		t.Fatalf("converge campaign failed: %v\noutput: %s", err, out.String())
+	}
+	var rec record
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if rec.Summary.Verdicts["stable"] != 3 {
+		t.Errorf("verdicts = %v", rec.Summary.Verdicts)
+	}
+}
+
+func TestRelationsCampaignSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	err := cmdRelations([]string{"-n", "3", "-steps", "200", "-schedules", "8", "-workers", "2"}, &out)
+	if err != nil {
+		t.Fatalf("relations campaign failed: %v\noutput: %s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "S^1_{1,3}") {
+		t.Errorf("relations table missing:\n%s", out.String())
+	}
+}
+
+// TestCampaignJSONDeterministicAcrossWorkers drives the CLI end to end: the
+// -json summary (elapsed stripped) must be identical at -workers 1 and 8.
+func TestCampaignJSONDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	summary := func(workers string) string {
+		var out bytes.Buffer
+		err := cmdRelations([]string{"-n", "3", "-steps", "200", "-schedules", "10",
+			"-seed", "5", "-workers", workers, "-json"}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec record
+		if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		s, err := json.Marshal(rec.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(s)
+	}
+	if s1, s8 := summary("1"), summary("8"); s1 != s8 {
+		t.Errorf("summaries differ:\nworkers=1: %s\nworkers=8: %s", s1, s8)
+	}
+}

@@ -4,10 +4,11 @@
 // without deciding under the adaptive adversary).
 //
 //	stm-matrix -t 3 -k 2 -n 5
-//	stm-matrix -t 2 -k 2 -n 4 -empirical
+//	stm-matrix -t 2 -k 2 -n 4 -empirical -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,15 +25,16 @@ func main() {
 		n         = flag.Int("n", 5, "number of processes n")
 		empirical = flag.Bool("empirical", false, "run every cell on the simulator")
 		seed      = flag.Int64("seed", 1, "schedule seed for empirical runs")
+		workers   = flag.Int("workers", 0, "cell workers for -empirical (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*t, *k, *n, *empirical, *seed); err != nil {
+	if err := run(*t, *k, *n, *empirical, *seed, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "stm-matrix: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(t, k, n int, empirical bool, seed int64) error {
+func run(t, k, n int, empirical bool, seed int64, workers int) error {
 	p := core.Problem{T: t, K: k, N: n}
 	if err := p.Validate(); err != nil {
 		return err
@@ -69,7 +71,7 @@ func run(t, k, n int, empirical bool, seed int64) error {
 		return nil
 	}
 
-	cells, err := experiments.RunMatrix(p, seed, 3_000_000, 300_000)
+	cells, _, err := experiments.RunMatrixCampaign(context.Background(), p, seed, 3_000_000, 300_000, workers)
 	if err != nil {
 		return err
 	}

@@ -4,10 +4,10 @@ import "testing"
 
 func TestTheoreticalMatrix(t *testing.T) {
 	t.Parallel()
-	if err := run(3, 2, 5, false, 1); err != nil {
+	if err := run(3, 2, 5, false, 1, 0); err != nil {
 		t.Errorf("theoretical matrix failed: %v", err)
 	}
-	if err := run(0, 2, 5, false, 1); err == nil {
+	if err := run(0, 2, 5, false, 1, 0); err == nil {
 		t.Error("invalid problem accepted")
 	}
 }
@@ -19,7 +19,7 @@ func TestEmpiricalMatrixSmall(t *testing.T) {
 	}
 	// The smallest nontrivial problem keeps the empirical sweep fast while
 	// exercising both solvable and unsolvable cells.
-	if err := run(1, 1, 3, true, 1); err != nil {
+	if err := run(1, 1, 3, true, 1, 2); err != nil {
 		t.Errorf("empirical matrix failed: %v", err)
 	}
 }

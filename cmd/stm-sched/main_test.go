@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestCmdFigure1(t *testing.T) {
+	if err := cmdFigure1([]string{"-rounds", "3"}); err != nil {
+		t.Errorf("figure1 failed: %v", err)
+	}
+}
+
+func TestCmdAnalyze(t *testing.T) {
+	if err := cmdAnalyze([]string{
+		"-schedule", "p1 p3 p2 p3 p1",
+		"-p", "{p1,p2}",
+		"-q", "{p3}",
+	}); err != nil {
+		t.Errorf("analyze failed: %v", err)
+	}
+	if err := cmdAnalyze([]string{"-schedule", "junk !", "-p", "{p1}", "-q", "{p2}"}); err == nil {
+		t.Error("unparseable schedule accepted")
+	}
+}
+
+func TestCmdGen(t *testing.T) {
+	for _, typ := range []string{"roundrobin", "random", "starver"} {
+		if err := cmdGen([]string{"-type", typ, "-n", "4", "-k", "2", "-steps", "12"}); err != nil {
+			t.Errorf("gen %s failed: %v", typ, err)
+		}
+	}
+	if err := cmdGen([]string{"-type", "nope"}); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}

@@ -26,7 +26,8 @@
 //   - RunDetector, which runs the Figure 2 failure detector alone.
 //
 // The full theory, substrates (BG simulation, atomic snapshots, safe
-// agreement, adaptive adversaries) and the per-figure experiment harness
+// agreement, adaptive adversaries), the per-figure experiment harness, and
+// the parallel campaign engine that shards empirical sweeps across workers
 // live in the internal packages; see DESIGN.md for the map and
 // EXPERIMENTS.md for the paper-versus-measured record.
 package settimeliness

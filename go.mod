@@ -1,0 +1,3 @@
+module github.com/settimeliness/settimeliness
+
+go 1.24

@@ -1,0 +1,228 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// spinJob burns a little CPU so completion order genuinely races under
+// multiple workers, then reports a deterministic outcome derived from the
+// job seed.
+func spinJob(i int) Job {
+	return Job{
+		Name: fmt.Sprintf("job%d", i),
+		Run: func(ctx context.Context, seed int64) (Outcome, error) {
+			h := uint64(seed)
+			for k := 0; k < 2000*(i%7+1); k++ {
+				h = h*6364136223846793005 + 1442695040888963407
+			}
+			steps := int(h%1000) + 1
+			verdict := "even"
+			if steps%2 == 1 {
+				verdict = "odd"
+			}
+			return Outcome{
+				Verdict: verdict,
+				Ok:      true,
+				Steps:   steps,
+				Tallies: map[string]int{"runs": 1, verdict: 1},
+			}, nil
+		},
+	}
+}
+
+func makeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = spinJob(i)
+	}
+	return jobs
+}
+
+// TestDeterministicAcrossWorkers is the engine's core contract: the same
+// campaign seed yields a bit-identical summary and JSONL stream at one
+// worker and at eight.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) (Summary, string) {
+		var buf bytes.Buffer
+		sink, sinkErr := JSONLSink(&buf)
+		rep, err := Run(context.Background(), Config{Workers: workers, Seed: 42, OnResult: sink}, makeJobs(200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *sinkErr != nil {
+			t.Fatal(*sinkErr)
+		}
+		return rep.Summary, buf.String()
+	}
+	s1, j1 := run(1)
+	s8, j8 := run(8)
+	if !reflect.DeepEqual(s1, s8) {
+		t.Errorf("summaries differ:\nworkers=1: %+v\nworkers=8: %+v", s1, s8)
+	}
+	if j1 != j8 {
+		t.Error("JSONL streams differ between 1 and 8 workers")
+	}
+	if s1.Completed != 200 || s1.Ok != 200 || s1.Failed != 0 {
+		t.Errorf("summary = %+v", s1)
+	}
+	if s1.Tallies["runs"] != 200 {
+		t.Errorf("runs tally = %d", s1.Tallies["runs"])
+	}
+	if got := s1.Verdicts["even"] + s1.Verdicts["odd"]; got != 200 {
+		t.Errorf("verdict tallies sum to %d", got)
+	}
+}
+
+// TestSeedSensitivity: a different campaign seed must change per-job seeds
+// (and hence the aggregate), and SeedFor must be stable across calls.
+func TestSeedSensitivity(t *testing.T) {
+	t.Parallel()
+	if SeedFor(1, 0) != SeedFor(1, 0) {
+		t.Fatal("SeedFor not deterministic")
+	}
+	if SeedFor(1, 0) == SeedFor(1, 1) || SeedFor(1, 0) == SeedFor(2, 0) {
+		t.Error("SeedFor collisions on adjacent inputs")
+	}
+	rep1, err := Run(context.Background(), Config{Workers: 4, Seed: 1}, makeJobs(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(context.Background(), Config{Workers: 4, Seed: 2}, makeJobs(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(rep1.Summary, rep2.Summary) {
+		t.Error("different campaign seeds produced identical summaries")
+	}
+}
+
+// TestOrderedEmission: OnResult must observe job indices 0,1,2,... even when
+// many workers complete out of order.
+func TestOrderedEmission(t *testing.T) {
+	t.Parallel()
+	var seen []int
+	_, err := Run(context.Background(), Config{
+		Workers:  8,
+		OnResult: func(o Outcome) { seen = append(seen, o.Job) },
+	}, makeJobs(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("emitted %d outcomes", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("emission out of order at %d: got job %d", i, idx)
+		}
+	}
+}
+
+func TestJobErrorAbortsCampaign(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("boom")
+	jobs := makeJobs(40)
+	jobs[7] = Job{Name: "bad", Run: func(ctx context.Context, seed int64) (Outcome, error) {
+		return Outcome{}, boom
+	}}
+	rep, err := Run(context.Background(), Config{Workers: 4}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "job 7") || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error lacks job identity: %v", err)
+	}
+	if rep.Summary.Completed+rep.Summary.Skipped != 40 {
+		t.Errorf("completed %d + skipped %d != 40", rep.Summary.Completed, rep.Summary.Skipped)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	t.Parallel()
+	jobs := []Job{{Name: "p", Run: func(ctx context.Context, seed int64) (Outcome, error) {
+		panic("kaboom")
+	}}}
+	_, err := Run(context.Background(), Config{}, jobs)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStopOnFail(t *testing.T) {
+	t.Parallel()
+	// Non-failing jobs burn enough CPU that the instant failure at index 3
+	// cancels the campaign while most of the 200 jobs are still queued.
+	slow := Job{Run: func(ctx context.Context, seed int64) (Outcome, error) {
+		h := uint64(seed)
+		for k := 0; k < 300_000; k++ {
+			h = h*6364136223846793005 + 1442695040888963407
+		}
+		return Outcome{Ok: true, Steps: int(h % 7)}, nil
+	}}
+	jobs := make([]Job, 200)
+	for i := range jobs {
+		jobs[i] = slow
+	}
+	jobs[3] = Job{Name: "fail", Run: func(ctx context.Context, seed int64) (Outcome, error) {
+		return Outcome{Ok: false, Verdict: "violation", Detail: "schedule-3"}, nil
+	}}
+	rep, err := Run(context.Background(), Config{Workers: 4, StopOnFail: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Failed != 1 {
+		t.Errorf("failed = %d", rep.Summary.Failed)
+	}
+	if rep.Summary.Skipped == 0 {
+		t.Error("no jobs skipped after StopOnFail cancellation")
+	}
+	if len(rep.Failures) != 1 || rep.Failures[0].Job != 3 || rep.Failures[0].Detail != "schedule-3" {
+		t.Errorf("failures = %+v", rep.Failures)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{Workers: 4}, makeJobs(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Completed != 0 || rep.Summary.Skipped != 50 {
+		t.Errorf("summary = %+v", rep.Summary)
+	}
+}
+
+func TestEmptyCampaign(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(context.Background(), Config{Workers: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Jobs != 0 || rep.Summary.Completed != 0 {
+		t.Errorf("summary = %+v", rep.Summary)
+	}
+}
+
+func TestStepStatsPercentiles(t *testing.T) {
+	t.Parallel()
+	sample := make([]int, 100)
+	for i := range sample {
+		sample[i] = 100 - i // reversed: stats must sort
+	}
+	st := stepStats(sample)
+	if st.Min != 1 || st.Max != 100 || st.P50 != 50 || st.P90 != 90 || st.P99 != 99 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Sum != 5050 || st.Mean != 50.5 {
+		t.Errorf("sum/mean = %d/%v", st.Sum, st.Mean)
+	}
+}

@@ -1,0 +1,25 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONLSink returns an OnResult sink that writes one JSON object per outcome
+// to w, in job-index order (the engine guarantees ordered single-goroutine
+// delivery, so the stream is deterministic byte for byte). Encoding errors
+// are reported through the returned error pointer after the campaign ends —
+// a sink cannot abort a run.
+func JSONLSink(w io.Writer) (func(Outcome), *error) {
+	enc := json.NewEncoder(w)
+	var firstErr error
+	sink := func(o Outcome) {
+		if firstErr != nil {
+			return
+		}
+		if err := enc.Encode(o); err != nil {
+			firstErr = err
+		}
+	}
+	return sink, &firstErr
+}

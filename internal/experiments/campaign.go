@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/antiomega"
+	"github.com/settimeliness/settimeliness/internal/campaign"
+	"github.com/settimeliness/settimeliness/internal/sched"
+)
+
+// Campaign adapters: the detector-convergence sweep and the timeliness-
+// relation extraction both fan out over the campaign engine, using the
+// engine's derived per-job seeds so one campaign seed reproduces the whole
+// population bit for bit at any worker count.
+
+// ConvergenceConfig parameterizes a detector-convergence campaign: Trials
+// independent runs of the Figure 2 algorithm in its matching system
+// S^k_{t+1,n}, each on a schedule generated from a derived seed.
+type ConvergenceConfig struct {
+	N, K, T int
+	// Bound is the Definition 1 constant enforced by the generator; 0 means 4.
+	Bound int
+	// Trials is the number of independent runs.
+	Trials int
+	// MaxSteps bounds each run; 0 means 2,000,000.
+	MaxSteps int
+	// Workers is the campaign pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RunConvergenceSweep measures detector convergence across a population of
+// schedules: each trial reports stabilization (verdict "stable"), steps to
+// stabilization, and the k-anti-Ω property check on the recorded history.
+func RunConvergenceSweep(ctx context.Context, cfg ConvergenceConfig, seed int64, onResult func(campaign.Outcome)) (*campaign.Report, error) {
+	acfg := antiomega.Config{N: cfg.N, K: cfg.K, T: cfg.T}
+	if err := acfg.Validate(); err != nil {
+		return nil, err
+	}
+	bound := cfg.Bound
+	if bound == 0 {
+		bound = 4
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000
+	}
+	jobs := make([]campaign.Job, cfg.Trials)
+	for t := range jobs {
+		jobs[t] = campaign.Job{
+			Name: fmt.Sprintf("trial%d", t),
+			Run: func(ctx context.Context, jobSeed int64) (campaign.Outcome, error) {
+				src, _, err := sched.System(cfg.N, cfg.K, cfg.T+1, bound, jobSeed, nil)
+				if err != nil {
+					return campaign.Outcome{}, err
+				}
+				run, err := driveDetector(acfg, src, maxSteps)
+				if err != nil {
+					return campaign.Outcome{}, err
+				}
+				verdict := "stable"
+				ok := run.Stable && run.Verdict.Holds
+				switch {
+				case !run.Stable:
+					verdict = "no-convergence"
+				case !run.Verdict.Holds:
+					verdict = "property-failed"
+				}
+				return campaign.Outcome{
+					Verdict: verdict,
+					Ok:      ok,
+					Steps:   run.Steps,
+					Tallies: map[string]int{"iterations": run.Iterations},
+				}, nil
+			},
+		}
+	}
+	return campaign.Run(ctx, campaign.Config{Workers: cfg.Workers, Seed: seed, OnResult: onResult}, jobs)
+}
+
+// RelationsConfig parameterizes timeliness-relation extraction: generate a
+// population of schedules and measure, for every system S^i_{j,n} of the
+// family, the fraction of the population whose finite prefix witnesses
+// membership (some i-set timely w.r.t. some j-set with the given bound) —
+// the empirical timeliness graph of the schedule population, in the spirit
+// of Delporte-Gallet et al.'s timeliness-graph extraction.
+type RelationsConfig struct {
+	// N is the system size (keep small: the membership check enumerates
+	// all (P,Q) pairs with |P| = i, |Q| = j).
+	N int
+	// Bound is the Definition 1 constant tested; 0 means 4.
+	Bound int
+	// Steps is the prefix length analyzed per schedule; 0 means 2000.
+	Steps int
+	// Schedules is the population size.
+	Schedules int
+	// Generator picks the population: "random", "starver", or "mixed"
+	// (alternating); "" means random.
+	Generator string
+	// Workers is the campaign pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RelationKey names the tally bucket for membership in S^i_{j,n}.
+func RelationKey(i, j int) string { return fmt.Sprintf("S^%d_%d", i, j) }
+
+// RunRelationsCampaign extracts the empirical timeliness relations of a
+// generated schedule population. Summary.Tallies[RelationKey(i,j)] counts
+// the schedules whose prefix witnesses S^i_{j,n} membership.
+func RunRelationsCampaign(ctx context.Context, cfg RelationsConfig, seed int64, onResult func(campaign.Outcome)) (*campaign.Report, error) {
+	if cfg.N < 2 || cfg.N > 6 {
+		return nil, fmt.Errorf("experiments: relations extraction supports 2 ≤ n ≤ 6, got %d", cfg.N)
+	}
+	bound := cfg.Bound
+	if bound == 0 {
+		bound = 4
+	}
+	steps := cfg.Steps
+	if steps == 0 {
+		steps = 2000
+	}
+	gen := cfg.Generator
+	if gen == "" {
+		gen = "random"
+	}
+	switch gen {
+	case "random", "starver", "mixed":
+	default:
+		return nil, fmt.Errorf("experiments: unknown generator %q (want random, starver, or mixed)", gen)
+	}
+	jobs := make([]campaign.Job, cfg.Schedules)
+	for idx := range jobs {
+		idx := idx
+		jobs[idx] = campaign.Job{
+			Name: fmt.Sprintf("schedule%d", idx),
+			Run: func(ctx context.Context, jobSeed int64) (campaign.Outcome, error) {
+				var (
+					src sched.Source
+					err error
+				)
+				kind := gen
+				if gen == "mixed" {
+					if idx%2 == 0 {
+						kind = "random"
+					} else {
+						kind = "starver"
+					}
+				}
+				switch kind {
+				case "random":
+					src, err = sched.Random(cfg.N, jobSeed, nil)
+				case "starver":
+					// Vary the starved-set size with the derived seed so the
+					// population spans the family.
+					k := int(uint64(jobSeed)%uint64(cfg.N-1)) + 1
+					src, err = sched.RotatingStarver(cfg.N, k, 1)
+				}
+				if err != nil {
+					return campaign.Outcome{}, err
+				}
+				s := sched.Take(src, steps)
+				tallies := map[string]int{"schedules": 1}
+				held := 0
+				for i := 1; i <= cfg.N; i++ {
+					for j := i; j <= cfg.N; j++ {
+						if sched.InSystem(s, cfg.N, i, j, bound) {
+							tallies[RelationKey(i, j)]++
+							held++
+						}
+					}
+				}
+				return campaign.Outcome{
+					Verdict: kind,
+					Ok:      true,
+					Steps:   held,
+					Tallies: tallies,
+				}, nil
+			},
+		}
+	}
+	return campaign.Run(ctx, campaign.Config{Workers: cfg.Workers, Seed: seed, OnResult: onResult}, jobs)
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/core"
 	"github.com/settimeliness/settimeliness/internal/kset"
 	"github.com/settimeliness/settimeliness/internal/procset"
@@ -13,48 +15,124 @@ import (
 // MatrixCell is one (i,j) entry of the Theorem 27 matrix for a fixed
 // problem, pairing the theoretical verdict with the empirical outcome.
 type MatrixCell struct {
+	Problem   core.Problem `json:"problem"`
 	I, J      int
 	Theory    bool
 	Empirical string
 	Match     bool
+	// Steps is the number of simulation steps the cell's run executed.
+	Steps int
 }
 
 // RunMatrix evaluates the full Theorem 27 matrix for one problem: solvable
 // cells run the dispatcher-selected algorithm on a conformant schedule and
 // must decide and verify; unsolvable cells run the best available algorithm
 // against the matching adversary and must neither violate safety nor reach a
-// decision within the horizon.
+// decision within the horizon. It is a thin wrapper over RunMatrixCampaign
+// at the default worker count; results are identical at any worker count.
 func RunMatrix(p core.Problem, seed int64, posBudget, negBudget int) ([]MatrixCell, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	var cells []MatrixCell
-	for i := 1; i <= p.N; i++ {
-		for j := i; j <= p.N; j++ {
-			sys := core.Sij(i, j, p.N)
-			theory, err := p.SolvableIn(sys)
-			if err != nil {
-				return nil, err
-			}
-			cell := MatrixCell{I: i, J: j, Theory: theory}
-			if theory {
-				cell.Empirical, cell.Match, err = runSolvableCell(p, sys, seed, posBudget)
-			} else {
-				cell.Empirical, cell.Match, err = runUnsolvableCell(p, sys, seed, negBudget)
-			}
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell)
-		}
-	}
-	return cells, nil
+	cells, _, err := RunMatrixCampaign(context.Background(), p, seed, posBudget, negBudget, 0)
+	return cells, err
 }
 
-func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, error) {
+// RunMatrixCampaign evaluates the matrix with one campaign job per cell,
+// sharded across workers (0 means GOMAXPROCS). Every cell uses the caller's
+// seed — exactly as the historical sequential loop did — so the returned
+// cells are bit-identical to a sequential evaluation.
+func RunMatrixCampaign(ctx context.Context, p core.Problem, seed int64, posBudget, negBudget, workers int) ([]MatrixCell, *campaign.Report, error) {
+	cells, rep, err := runMatrixSweep(ctx, []core.Problem{p}, seed, posBudget, negBudget, workers, nil)
+	return cells, rep, err
+}
+
+// MatrixSweep evaluates the matrices of several problems as one campaign,
+// streaming each completed cell outcome to onResult (may be nil) in a fixed
+// order. The returned cells are ordered problem-major, then (i,j).
+func MatrixSweep(ctx context.Context, problems []core.Problem, seed int64, posBudget, negBudget, workers int, onResult func(campaign.Outcome)) ([]MatrixCell, *campaign.Report, error) {
+	return runMatrixSweep(ctx, problems, seed, posBudget, negBudget, workers, onResult)
+}
+
+func runMatrixSweep(ctx context.Context, problems []core.Problem, seed int64, posBudget, negBudget, workers int, onResult func(campaign.Outcome)) ([]MatrixCell, *campaign.Report, error) {
+	var jobs []campaign.Job
+	for _, p := range problems {
+		if err := p.Validate(); err != nil {
+			return nil, nil, err
+		}
+		p := p
+		for i := 1; i <= p.N; i++ {
+			for j := i; j <= p.N; j++ {
+				i, j := i, j
+				jobs = append(jobs, campaign.Job{
+					Name: fmt.Sprintf("%v S^%d_{%d,%d}", p, i, j, p.N),
+					Run: func(ctx context.Context, _ int64) (campaign.Outcome, error) {
+						cell, err := runCell(p, i, j, seed, posBudget, negBudget)
+						if err != nil {
+							return campaign.Outcome{}, err
+						}
+						return cellOutcome(cell), nil
+					},
+				})
+			}
+		}
+	}
+	// The engine delivers outcomes in job order from one goroutine, so the
+	// collected cells come out problem-major then (i,j) — the same order the
+	// historical sequential loop produced.
+	cells := make([]MatrixCell, 0, len(jobs))
+	collect := func(o campaign.Outcome) {
+		if c, ok := o.Detail.(MatrixCell); ok {
+			cells = append(cells, c)
+		}
+		if onResult != nil {
+			onResult(o)
+		}
+	}
+	rep, err := campaign.Run(ctx, campaign.Config{Workers: workers, Seed: seed, OnResult: collect}, jobs)
+	if err != nil {
+		return nil, rep, err
+	}
+	return cells, rep, nil
+}
+
+// runCell evaluates one (i,j) cell of p's matrix.
+func runCell(p core.Problem, i, j int, seed int64, posBudget, negBudget int) (MatrixCell, error) {
+	sys := core.Sij(i, j, p.N)
+	theory, err := p.SolvableIn(sys)
+	if err != nil {
+		return MatrixCell{}, err
+	}
+	cell := MatrixCell{Problem: p, I: i, J: j, Theory: theory}
+	if theory {
+		cell.Empirical, cell.Match, cell.Steps, err = runSolvableCell(p, sys, seed, posBudget)
+	} else {
+		cell.Empirical, cell.Match, cell.Steps, err = runUnsolvableCell(p, sys, seed, negBudget)
+	}
+	if err != nil {
+		return MatrixCell{}, err
+	}
+	return cell, nil
+}
+
+// cellOutcome summarizes a cell for campaign aggregation.
+func cellOutcome(cell MatrixCell) campaign.Outcome {
+	verdict := "unsolvable-held"
+	if cell.Theory {
+		verdict = "solvable-decided"
+	}
+	if !cell.Match {
+		verdict = "mismatch"
+	}
+	return campaign.Outcome{
+		Verdict: verdict,
+		Ok:      cell.Match,
+		Steps:   cell.Steps,
+		Detail:  cell,
+	}
+}
+
+func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, int, error) {
 	kcfg, err := p.AgreementConfig(sys)
 	if err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	// One crash to keep the run honest without slowing convergence, except
 	// in systems too fragile for any crash (t = n−1 keeps all-but-one).
@@ -75,19 +153,19 @@ func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) 
 		src, _, err = sched.System(p.N, sys.I, sys.J, 4, seed, crashes)
 	}
 	if err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	run, err := driveAgreement(kcfg, src, budget)
 	if err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	if run.AllDecided && len(run.Violations) == 0 {
-		return fmt.Sprintf("DECIDED@%d (%d values)", run.LastDecide, run.Distinct), true, nil
+		return fmt.Sprintf("DECIDED@%d (%d values)", run.LastDecide, run.Distinct), true, run.Steps, nil
 	}
 	if len(run.Violations) > 0 {
-		return fmt.Sprintf("VIOLATION %v", run.Violations[0]), false, nil
+		return fmt.Sprintf("VIOLATION %v", run.Violations[0]), false, run.Steps, nil
 	}
-	return fmt.Sprintf("NO-DECISION@%d", run.Steps), false, nil
+	return fmt.Sprintf("NO-DECISION@%d", run.Steps), false, run.Steps, nil
 }
 
 // runUnsolvableCell runs the strongest configuration we have for (t,k,n)
@@ -104,7 +182,7 @@ func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) 
 //
 // Termination must fail (Theorem 27 says no algorithm terminates on all such
 // schedules; the adversary defeats ours on this one) and safety must hold.
-func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, error) {
+func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, int, error) {
 	kcfg := kset.Config{N: p.N, K: p.K, T: p.T}
 	var crashed procset.Set
 	if sys.I <= p.K {
@@ -114,16 +192,16 @@ func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int
 	}
 	run, schedule, err := driveAgreementAdversarial(kcfg, crashed, budget)
 	if err != nil {
-		return "", false, err
+		return "", false, 0, err
 	}
 	if len(run.SafetyErrors) > 0 {
-		return fmt.Sprintf("SAFETY VIOLATION %v", run.SafetyErrors[0]), false, nil
+		return fmt.Sprintf("SAFETY VIOLATION %v", run.SafetyErrors[0]), false, run.Steps, nil
 	}
 	if run.AllDecided {
 		// Deciding on one adversarial run does not contradict the theorem
 		// (only all-runs termination would), but it means our adversary is
 		// too weak — flag it.
-		return fmt.Sprintf("DECIDED@%d (adversary too weak)", run.LastDecide), false, nil
+		return fmt.Sprintf("DECIDED@%d (adversary too weak)", run.LastDecide), false, run.Steps, nil
 	}
 	// Conformance spot check: the schedule must witness S^i_{j,n}. For case
 	// 2b this is structural (an i-set of live processes plus the silent
@@ -143,10 +221,10 @@ func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int
 			prefix = prefix[:50_000]
 		}
 		if sched.MaxQGap(prefix, witnessP, witnessQ) != 0 {
-			return "CONFORMANCE FAILURE", false, nil
+			return "CONFORMANCE FAILURE", false, run.Steps, nil
 		}
 	}
-	return fmt.Sprintf("NO-DECISION@%d, safe", run.Steps), true, nil
+	return fmt.Sprintf("NO-DECISION@%d, safe", run.Steps), true, run.Steps, nil
 }
 
 // runE5 renders the matrix for representative problems.

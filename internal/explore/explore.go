@@ -11,8 +11,12 @@
 package explore
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 
+	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
@@ -21,6 +25,10 @@ import (
 // Builder creates one fresh run: the per-process algorithm (with fresh
 // captured state) and a check applied after the schedule has been executed.
 // check returns an error describing the violation, if any.
+//
+// Campaign entry points call the builder from multiple worker goroutines
+// concurrently; each call must return state shared with nothing outside
+// that one run.
 type Builder func() (algo func(procset.ID) sim.Algorithm, check func() error)
 
 // Violation describes a schedule on which the check failed.
@@ -31,6 +39,16 @@ type Violation struct {
 
 func (v *Violation) Error() string {
 	return fmt.Sprintf("explore: violated on schedule %v: %v", v.Schedule, v.Err)
+}
+
+// MarshalJSON renders the violation for JSONL emission; the wrapped error
+// must be flattened to its message, since marshaling a bare error interface
+// yields an empty object.
+func (v *Violation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Schedule string `json:"schedule"`
+		Err      string `json:"err"`
+	}{v.Schedule.String(), v.Err.Error()})
 }
 
 // runOne executes one finite schedule from a fresh build and applies the
@@ -49,61 +67,154 @@ func runOne(n int, schedule sched.Schedule, build Builder) error {
 	return nil
 }
 
-// Exhaustive checks every schedule of exactly depth steps over n processes
-// (n^depth runs — keep n and depth small). It returns the number of runs
-// and the first violation found, if any.
-func Exhaustive(n, depth int, build Builder) (int, error) {
-	if n < 1 || n > 4 {
-		return 0, fmt.Errorf("explore: Exhaustive supports 1 ≤ n ≤ 4, got %d", n)
+// batchSize splits total runs into campaign jobs: small enough to shard
+// across workers, large enough that per-job overhead stays negligible.
+func batchSize(total int) int {
+	switch {
+	case total <= 64:
+		return 1
+	case total <= 4096:
+		return 64
+	default:
+		return 256
 	}
-	if depth < 1 || depth > 24 {
-		return 0, fmt.Errorf("explore: depth %d out of range [1,24]", depth)
-	}
-	schedule := make(sched.Schedule, depth)
-	counter := make([]int, depth)
+}
+
+// runBatch executes runs index lo..hi-1 (schedule produced by nth) from
+// fresh builds, stopping at the first violation. The outcome counts runs in
+// the "runs" tally and carries the violation as Detail.
+func runBatch(ctx context.Context, n, lo, hi int, nth func(int) sched.Schedule, build Builder) (campaign.Outcome, error) {
 	runs := 0
-	for {
-		for i, c := range counter {
-			schedule[i] = procset.ID(c + 1)
+	for i := lo; i < hi; i++ {
+		if ctx.Err() != nil {
+			break
 		}
 		runs++
-		if err := runOne(n, schedule, build); err != nil {
-			return runs, err
-		}
-		// Increment the base-n counter.
-		i := 0
-		for ; i < depth; i++ {
-			counter[i]++
-			if counter[i] < n {
-				break
+		if err := runOne(n, nth(i), build); err != nil {
+			var v *Violation
+			if errors.As(err, &v) {
+				return campaign.Outcome{
+					Verdict: "violation",
+					Ok:      false,
+					Steps:   runs,
+					Tallies: map[string]int{"runs": runs},
+					Detail:  v,
+				}, nil
 			}
-			counter[i] = 0
-		}
-		if i == depth {
-			return runs, nil
+			return campaign.Outcome{}, err
 		}
 	}
+	return campaign.Outcome{
+		Verdict: "ok",
+		Ok:      true,
+		Steps:   runs,
+		Tallies: map[string]int{"runs": runs},
+	}, nil
+}
+
+// runCampaign builds one job per batch of [0,total) and runs them on the
+// engine, returning the report and the violation of the smallest run index
+// found, if any.
+func runCampaign(ctx context.Context, workers, n, total int, nth func(int) sched.Schedule, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	batch := batchSize(total)
+	var jobs []campaign.Job
+	for lo := 0; lo < total; lo += batch {
+		lo, hi := lo, lo+batch
+		if hi > total {
+			hi = total
+		}
+		jobs = append(jobs, campaign.Job{
+			Name: fmt.Sprintf("batch[%d,%d)", lo, hi),
+			Run: func(ctx context.Context, _ int64) (campaign.Outcome, error) {
+				return runBatch(ctx, n, lo, hi, nth, build)
+			},
+		})
+	}
+	rep, err := campaign.Run(ctx, campaign.Config{Workers: workers, StopOnFail: true, OnResult: onResult}, jobs)
+	if err != nil {
+		return rep, 0, err
+	}
+	runs := rep.Summary.Tallies["runs"]
+	if len(rep.Failures) > 0 {
+		if v, ok := rep.Failures[0].Detail.(*Violation); ok {
+			return rep, runs, v
+		}
+	}
+	return rep, runs, nil
+}
+
+// Exhaustive checks every schedule of exactly depth steps over n processes
+// (n^depth runs — keep n and depth small). It returns the number of runs
+// and the first violation found, if any. It is a thin wrapper over
+// ExhaustiveCampaign at the default worker count.
+func Exhaustive(n, depth int, build Builder) (int, error) {
+	_, runs, err := ExhaustiveCampaign(context.Background(), 0, n, depth, build, nil)
+	return runs, err
+}
+
+// ExhaustiveCampaign shards the exhaustive enumeration across workers
+// (0 means GOMAXPROCS). Schedules are enumerated in a fixed order (run r's
+// step i is digit i of r in base n), so which schedules run is independent
+// of sharding; when a violation exists the reported one is the violation of
+// the smallest run index found before cancellation, which may differ from
+// the sequential first under parallelism.
+func ExhaustiveCampaign(ctx context.Context, workers, n, depth int, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	if n < 1 || n > 4 {
+		return nil, 0, fmt.Errorf("explore: Exhaustive supports 1 ≤ n ≤ 4, got %d", n)
+	}
+	if depth < 1 || depth > 24 {
+		return nil, 0, fmt.Errorf("explore: depth %d out of range [1,24]", depth)
+	}
+	total := 1
+	for i := 0; i < depth; i++ {
+		total *= n
+	}
+	nth := func(r int) sched.Schedule {
+		schedule := make(sched.Schedule, depth)
+		for i := range schedule {
+			schedule[i] = procset.ID(r%n + 1)
+			r /= n
+		}
+		return schedule
+	}
+	return runCampaign(ctx, workers, n, total, nth, build, onResult)
 }
 
 // FuzzRandom checks seeded random schedules (seeds runs of steps steps) with
 // each of the given crash patterns (nil for failure-free only). It returns
-// the number of runs and the first violation.
+// the number of runs and the first violation. It is a thin wrapper over
+// FuzzCampaign at the default worker count with base seed 0.
 func FuzzRandom(n, steps, seeds int, crashPatterns []map[procset.ID]int, build Builder) (int, error) {
+	_, runs, err := FuzzCampaign(context.Background(), 0, n, steps, seeds, 0, crashPatterns, build, nil)
+	return runs, err
+}
+
+// FuzzCampaign shards seeded random fuzzing across workers (0 means
+// GOMAXPROCS). Run index r covers schedule seed base+r/len(patterns) with
+// crash pattern r%len(patterns), so coverage is independent of sharding.
+func FuzzCampaign(ctx context.Context, workers, n, steps, seeds int, base int64, crashPatterns []map[procset.ID]int, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
 	if len(crashPatterns) == 0 {
 		crashPatterns = []map[procset.ID]int{nil}
 	}
-	runs := 0
-	for seed := 0; seed < seeds; seed++ {
-		for _, crashes := range crashPatterns {
-			src, err := sched.Random(n, int64(seed), crashes)
-			if err != nil {
-				return runs, err
-			}
-			runs++
-			if err := runOne(n, sched.Take(src, steps), build); err != nil {
-				return runs, err
-			}
+	nth := func(r int) sched.Schedule {
+		seed := base + int64(r/len(crashPatterns))
+		crashes := crashPatterns[r%len(crashPatterns)]
+		src, err := sched.Random(n, seed, crashes)
+		if err != nil {
+			// n and every crash pattern are validated before the campaign
+			// starts, so the generator cannot fail here.
+			panic(err)
+		}
+		return sched.Take(src, steps)
+	}
+	// Validate once up front so job workers cannot hit generator errors.
+	if _, err := sched.Random(n, base, nil); err != nil {
+		return nil, 0, err
+	}
+	for _, crashes := range crashPatterns {
+		if _, err := sched.Random(n, base, crashes); err != nil {
+			return nil, 0, err
 		}
 	}
-	return runs, nil
+	return runCampaign(ctx, workers, n, seeds*len(crashPatterns), nth, build, onResult)
 }

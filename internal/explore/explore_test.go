@@ -1,63 +1,23 @@
 package explore
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
-	"github.com/settimeliness/settimeliness/internal/commitadopt"
-	"github.com/settimeliness/settimeliness/internal/consensus"
+	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
 
-// caBuilder builds a commit-adopt run where each process proposes its id;
-// the check enforces validity and agreement-on-commit.
-func caBuilder(n int) Builder {
-	return func() (func(procset.ID) sim.Algorithm, func() error) {
-		type result struct {
-			commit bool
-			val    any
-		}
-		results := make([]*result, n+1)
-		algo := func(p procset.ID) sim.Algorithm {
-			return func(env sim.Env) {
-				o := commitadopt.New(env, "x")
-				c, v := o.Propose(int(p))
-				results[p] = &result{commit: c, val: v}
-			}
-		}
-		check := func() error {
-			var committed any
-			for p := 1; p <= n; p++ {
-				r := results[p]
-				if r == nil {
-					continue // did not finish within this schedule: fine
-				}
-				v, ok := r.val.(int)
-				if !ok || v < 1 || v > n {
-					return fmt.Errorf("p%d returned non-proposal %v", p, r.val)
-				}
-				if r.commit {
-					if committed != nil && committed != r.val {
-						return fmt.Errorf("commit disagreement: %v vs %v", committed, r.val)
-					}
-					committed = r.val
-				}
-			}
-			if committed == nil {
-				return nil
-			}
-			for p := 1; p <= n; p++ {
-				if r := results[p]; r != nil && r.val != committed {
-					return fmt.Errorf("p%d carries %v, committed %v", p, r.val, committed)
-				}
-			}
-			return nil
-		}
-		return algo, check
-	}
-}
+// caBuilder is the exported commit-adopt target; the alias keeps the
+// historical test name.
+func caBuilder(n int) Builder { return CommitAdoptBuilder(n) }
 
 func TestCommitAdoptExhaustiveN2(t *testing.T) {
 	t.Parallel()
@@ -208,35 +168,7 @@ func TestExplorerCatchesBrokenCommitAdopt(t *testing.T) {
 // two different decisions or a non-proposal decision.
 func TestConsensusSafetyExhaustiveTiny(t *testing.T) {
 	t.Parallel()
-	build := func() (func(procset.ID) sim.Algorithm, func() error) {
-		decisions := make([]any, 3)
-		algo := func(p procset.ID) sim.Algorithm {
-			return func(env sim.Env) {
-				in := consensus.NewInstance(env, "c")
-				for {
-					if d, ok := in.Attempt(int(p) * 10); ok {
-						decisions[p] = d
-						return
-					}
-				}
-			}
-		}
-		check := func() error {
-			a, b := decisions[1], decisions[2]
-			if a != nil && a != 10 && a != 20 {
-				return fmt.Errorf("p1 decided %v", a)
-			}
-			if b != nil && b != 10 && b != 20 {
-				return fmt.Errorf("p2 decided %v", b)
-			}
-			if a != nil && b != nil && a != b {
-				return fmt.Errorf("disagreement %v vs %v", a, b)
-			}
-			return nil
-		}
-		return algo, check
-	}
-	runs, err := Exhaustive(2, 16, build)
+	runs, err := Exhaustive(2, 16, ConsensusBuilder(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,5 +188,44 @@ func TestExhaustiveValidation(t *testing.T) {
 	}
 	if _, err := Exhaustive(2, 25, b); err == nil {
 		t.Error("depth = 25 accepted")
+	}
+}
+
+func TestViolationMarshalJSON(t *testing.T) {
+	t.Parallel()
+	v := &Violation{Schedule: sched.Schedule{1, 2, 1}, Err: fmt.Errorf("disagreement: 10 vs 20")}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Schedule string `json:"schedule"`
+		Err      string `json:"err"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != "disagreement: 10 vs 20" || got.Schedule == "" {
+		t.Errorf("marshaled violation = %s", data)
+	}
+}
+
+// TestViolationReachesJSONLStream drives a violating campaign through the
+// JSONL sink end to end: the failing batch's record must carry the
+// violation's schedule and error text, not an empty object.
+func TestViolationReachesJSONLStream(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	sink, sinkErr := campaign.JSONLSink(&buf)
+	_, _, err := ExhaustiveCampaign(context.Background(), 2, 2, 12, brokenAgreementBuilder(2), sink)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("broken protocol not caught: %v", err)
+	}
+	if *sinkErr != nil {
+		t.Fatal(*sinkErr)
+	}
+	if !strings.Contains(buf.String(), `"err":"disagreement`) {
+		t.Errorf("violation error text missing from JSONL stream:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,122 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/commitadopt"
+	"github.com/settimeliness/settimeliness/internal/consensus"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// Named fuzz targets: ready-made builders for the protocols whose safety the
+// explorer guards, used by cmd/stm-campaign and reusable from tests. Each
+// returned Builder is safe for concurrent use by campaign workers.
+
+// Target names accepted by TargetBuilder.
+const (
+	TargetCommitAdopt = "commitadopt"
+	TargetConsensus   = "consensus"
+)
+
+// TargetBuilder returns the named builder for n processes.
+func TargetBuilder(name string, n int) (Builder, error) {
+	switch name {
+	case TargetCommitAdopt:
+		return CommitAdoptBuilder(n), nil
+	case TargetConsensus:
+		return ConsensusBuilder(n), nil
+	default:
+		return nil, fmt.Errorf("explore: unknown fuzz target %q (want %s or %s)",
+			name, TargetCommitAdopt, TargetConsensus)
+	}
+}
+
+// CommitAdoptBuilder builds a commit-adopt run where each process proposes
+// its id; the check enforces validity, agreement on commit, and that every
+// finisher adopted the committed value.
+func CommitAdoptBuilder(n int) Builder {
+	return func() (func(procset.ID) sim.Algorithm, func() error) {
+		type result struct {
+			commit bool
+			val    any
+		}
+		results := make([]*result, n+1)
+		algo := func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				o := commitadopt.New(env, "x")
+				c, v := o.Propose(int(p))
+				results[p] = &result{commit: c, val: v}
+			}
+		}
+		check := func() error {
+			var committed any
+			for p := 1; p <= n; p++ {
+				r := results[p]
+				if r == nil {
+					continue // did not finish within this schedule: fine
+				}
+				v, ok := r.val.(int)
+				if !ok || v < 1 || v > n {
+					return fmt.Errorf("p%d returned non-proposal %v", p, r.val)
+				}
+				if r.commit {
+					if committed != nil && committed != r.val {
+						return fmt.Errorf("commit disagreement: %v vs %v", committed, r.val)
+					}
+					committed = r.val
+				}
+			}
+			if committed == nil {
+				return nil
+			}
+			for p := 1; p <= n; p++ {
+				if r := results[p]; r != nil && r.val != committed {
+					return fmt.Errorf("p%d carries %v, committed %v", p, r.val, committed)
+				}
+			}
+			return nil
+		}
+		return algo, check
+	}
+}
+
+// ConsensusBuilder builds contending Disk-Paxos proposers (process p
+// repeatedly attempts value 10p); the check enforces that decisions are
+// proposals and agree.
+func ConsensusBuilder(n int) Builder {
+	return func() (func(procset.ID) sim.Algorithm, func() error) {
+		decisions := make([]any, n+1)
+		algo := func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				in := consensus.NewInstance(env, "c")
+				for {
+					if d, ok := in.Attempt(int(p) * 10); ok {
+						decisions[p] = d
+						return
+					}
+				}
+			}
+		}
+		check := func() error {
+			var first any
+			for p := 1; p <= n; p++ {
+				d := decisions[p]
+				if d == nil {
+					continue
+				}
+				v, ok := d.(int)
+				if !ok || v%10 != 0 || v < 10 || v > 10*n {
+					return fmt.Errorf("p%d decided non-proposal %v", p, d)
+				}
+				if first == nil {
+					first = d
+				} else if d != first {
+					return fmt.Errorf("disagreement: %v vs %v", first, d)
+				}
+			}
+			return nil
+		}
+		return algo, check
+	}
+}
