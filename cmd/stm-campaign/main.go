@@ -61,7 +61,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stm-campaign matrix    -t T -k K -n N [-posbudget B] [-negbudget B]   empirical Theorem 27 matrices
-  stm-campaign fuzz      -target commitadopt|consensus -schedules S     schedule fuzzing
+  stm-campaign fuzz      -target commitadopt|consensus|cachain -schedules S  schedule fuzzing
   stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
   stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
@@ -250,27 +250,47 @@ func cmdFuzz(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
 	var c common
 	c.register(fs)
-	target := fs.String("target", explore.TargetCommitAdopt, "protocol to fuzz (commitadopt|consensus)")
+	target := fs.String("target", explore.TargetCommitAdopt, "protocol to fuzz (commitadopt|consensus|cachain)")
 	n := fs.Int("n", 4, "number of processes")
 	steps := fs.Int("steps", 300, "steps per schedule")
 	schedules := fs.Int("schedules", 1000, "number of schedules")
 	crashSpec := fs.String("crashes", "", "crash patterns, e.g. \"p1@3;p2@0,p4@9\" (empty = failure-free)")
+	engine := fs.String("engine", "pooled", "execution path: pooled (reused direct-dispatch runs) or fresh (coroutine run per schedule); results are bit-identical")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	build, err := explore.TargetBuilder(*target, *n)
-	if err != nil {
 		return err
 	}
 	patterns, err := parseCrashPatterns(*crashSpec)
 	if err != nil {
 		return err
 	}
+	// Resolve the engine and target before opening the -jsonl sink so
+	// invalid invocations don't create (and leak) the stream file.
+	var fuzz func(onResult func(campaign.Outcome)) (*campaign.Report, int, error)
+	switch *engine {
+	case "pooled":
+		build, err := explore.PooledTargetBuilder(*target, *n)
+		if err != nil {
+			return err
+		}
+		fuzz = func(onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+			return explore.FuzzPooledCampaign(context.Background(), c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
+		}
+	case "fresh":
+		build, err := explore.TargetBuilder(*target, *n)
+		if err != nil {
+			return err
+		}
+		fuzz = func(onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+			return explore.FuzzCampaign(context.Background(), c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
+		}
+	default:
+		return fmt.Errorf("unknown -engine %q (want pooled or fresh)", *engine)
+	}
 	sink, closeSink, err := c.sink()
 	if err != nil {
 		return err
 	}
-	rep, runs, err := explore.FuzzCampaign(context.Background(), c.workers, *n, *steps, *schedules, c.seed, patterns, build, sink)
+	rep, runs, err := fuzz(sink)
 	if cerr := closeSink(); err == nil && cerr != nil {
 		err = cerr
 	}

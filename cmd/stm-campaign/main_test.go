@@ -124,6 +124,41 @@ func TestRelationsCampaignSmoke(t *testing.T) {
 	}
 }
 
+// TestFuzzEnginesBitIdentical drives the CLI end to end across execution
+// paths: -engine pooled (reused direct-dispatch runs) and -engine fresh
+// (coroutine run per schedule) must emit identical -json summaries for
+// every target, at several worker counts.
+func TestFuzzEnginesBitIdentical(t *testing.T) {
+	t.Parallel()
+	summary := func(target, engine, workers string) string {
+		var out bytes.Buffer
+		err := cmdFuzz([]string{"-target", target, "-n", "3", "-steps", "80",
+			"-schedules", "24", "-seed", "3", "-engine", engine, "-workers", workers, "-json"}, &out)
+		if err != nil {
+			t.Fatalf("%s/%s: %v\n%s", target, engine, err, out.String())
+		}
+		var rec record
+		if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		s, err := json.Marshal(rec.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(s)
+	}
+	for _, target := range []string{"commitadopt", "consensus", "cachain"} {
+		want := summary(target, "fresh", "1")
+		for _, engine := range []string{"pooled", "fresh"} {
+			for _, workers := range []string{"1", "4"} {
+				if got := summary(target, engine, workers); got != want {
+					t.Errorf("%s: engine=%s workers=%s diverges:\n%s\nvs\n%s", target, engine, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestCampaignJSONDeterministicAcrossWorkers drives the CLI end to end: the
 // -json summary (elapsed stripped) must be identical at -workers 1 and 8.
 func TestCampaignJSONDeterministicAcrossWorkers(t *testing.T) {

@@ -14,7 +14,7 @@ func TestAggregatePolicies(t *testing.T) {
 	t.Parallel()
 	// Direct unit test of the accusation aggregation on a fixed counter row.
 	mk := func(agg Aggregation, tt int) *Instance {
-		return &Instance{cfg: Config{N: 4, K: 2, T: tt, Aggregate: agg}, scratch: make([]int, 4)}
+		return &Instance{state: state{cfg: Config{N: 4, K: 2, T: tt, Aggregate: agg}, scratch: make([]int, 4)}}
 	}
 	cnt := []int{0, 5, 1, 9, 3} // index 0 unused; sorted values: 1,3,5,9
 	tests := []struct {
@@ -45,7 +45,7 @@ func TestAggregateQuickOrderStatistics(t *testing.T) {
 			return true
 		}
 		tt := int(tRaw)%(n-1) + 1
-		in := &Instance{cfg: Config{N: n, K: 1, T: tt}, scratch: make([]int, n)}
+		in := &Instance{state: state{cfg: Config{N: n, K: 1, T: tt}, scratch: make([]int, n)}}
 		cnt := make([]int, n+1)
 		for i, b := range raw {
 			cnt[i+1] = int(b)

@@ -15,10 +15,13 @@
 // Counter[A, p] for every set A whose timer expired — doubling that set's
 // timeout for the future.
 //
-// The algorithm is exposed as a resumable Instance so that higher layers
-// (the agreement construction of internal/kset) can interleave detector
-// iterations with their own steps within a single process automaton, as the
-// paper's composition of a failure detector with an algorithm does.
+// The algorithm exists in two equivalent executable forms sharing one local
+// state (the state struct): the resumable coroutine Instance, which higher
+// layers (the agreement construction of internal/kset) interleave with
+// their own steps within a single process automaton, and the
+// direct-dispatch MachineInstance (machine.go), which the campaign engine
+// steps without goroutines or channels. Both produce bit-identical
+// operation streams; machine_test.go pins the equivalence.
 package antiomega
 
 import (
@@ -84,22 +87,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Instance is the per-process state of the Figure 2 algorithm. Create one
-// with NewInstance inside the process's algorithm function and call Iterate
-// repeatedly; between calls, Output and Winnerset expose the detector state
-// for composition with other sub-automata of the same process.
-type Instance struct {
+// state is the local (step-free) data of one Figure 2 process: the
+// variables of the algorithm, named as in the figure, plus the derived
+// detector outputs. The coroutine Instance and the direct-dispatch
+// MachineInstance both embed it, so the two execution forms run literally
+// the same local computations; only how operations reach shared memory
+// differs.
+type state struct {
 	cfg  Config
-	env  sim.Env
 	self procset.ID
 
 	subsets []procset.Set // Πkn in canonical (tie-break) order
-	mine    []int         // indices of subsets containing self
 
-	hbRefs      []sim.Ref   // Heartbeat[q], indexed by process (1-based)
-	counterRefs [][]sim.Ref // Counter[A, q], indexed by subset index, then process (1-based)
-
-	// Local variables, named as in Figure 2.
 	fdOutput      procset.Set
 	winnerset     procset.Set
 	myHb          int
@@ -113,6 +112,155 @@ type Instance struct {
 	scratch    []int // reused buffer for the (t+1)-st smallest computation
 }
 
+// newState builds the initial local state for one process (Figure 2's
+// initializer). cfg must have been validated.
+func newState(cfg Config, self procset.ID) state {
+	subsets := procset.KSubsets(cfg.N, cfg.K)
+	st := state{
+		cfg:           cfg,
+		self:          self,
+		subsets:       subsets,
+		prevHeartbeat: make([]int, cfg.N+1),
+		timeout:       make([]int, len(subsets)),
+		timer:         make([]int, len(subsets)),
+		accusation:    make([]int, len(subsets)),
+		cnt:           make([][]int, len(subsets)),
+		scratch:       make([]int, cfg.N),
+	}
+	for ai := range subsets {
+		st.cnt[ai] = make([]int, cfg.N+1)
+		st.timeout[ai] = 1
+		st.timer[ai] = 1
+	}
+	// Initial fdOutput: any set of n−k processes (Figure 2's initializer);
+	// we use the complement of the first subset in the canonical order.
+	st.winnerset = subsets[0]
+	st.fdOutput = subsets[0].Complement(cfg.N)
+	return st
+}
+
+// chooseWinner runs the local part of lines 2–5 on freshly collected
+// counters: derive each set's accusation, pick the (accusation, A)-smallest
+// set as winnerset, output its complement.
+func (st *state) chooseWinner() {
+	for ai := range st.subsets {
+		st.accusation[ai] = st.aggregate(st.cnt[ai])
+	}
+	winner := 0
+	for ai := 1; ai < len(st.subsets); ai++ {
+		if st.accusation[ai] < st.accusation[winner] {
+			winner = ai
+		}
+	}
+	st.winnerset = st.subsets[winner]
+	st.fdOutput = st.winnerset.Complement(st.cfg.N)
+}
+
+// noteHeartbeat runs lines 9–13 for one process: when q's heartbeat moved,
+// rearm the timer of every set containing q.
+func (st *state) noteHeartbeat(q, hbq int) {
+	if hbq > st.prevHeartbeat[q] {
+		member := procset.ID(q)
+		for ai, a := range st.subsets {
+			if a.Contains(member) {
+				st.timer[ai] = st.timeout[ai]
+			}
+		}
+		st.prevHeartbeat[q] = hbq
+	}
+}
+
+// tickTimer runs lines 14–18 for one set: decrement its timer; on expiry,
+// grow the timeout (unless ablated away) and rearm, reporting that line
+// 19's accusation write must follow.
+func (st *state) tickTimer(ai int) bool {
+	st.timer[ai]--
+	if st.timer[ai] != 0 {
+		return false
+	}
+	if !st.cfg.FixedTimeout {
+		st.timeout[ai]++
+	}
+	st.timer[ai] = st.timeout[ai]
+	return true
+}
+
+// aggregate computes the accusation counter from cnt[1..n] per the
+// configured policy; the paper's Definition 13 is the (t+1)-st smallest,
+// clamped to n (relevant only for t = n−1, where t+1 = n is the largest).
+func (st *state) aggregate(cnt []int) int {
+	vals := st.scratch[:0]
+	vals = append(vals, cnt[1:]...)
+	sort.Ints(vals)
+	switch st.cfg.Aggregate {
+	case AggregateMin:
+		return vals[0]
+	case AggregateMax:
+		return vals[len(vals)-1]
+	default:
+		k := st.cfg.T + 1
+		if k > len(vals) {
+			k = len(vals)
+		}
+		return vals[k-1]
+	}
+}
+
+// Output returns the current fdOutput of this process: Πn − winnerset,
+// a set of n−k processes.
+func (st *state) Output() procset.Set { return st.fdOutput }
+
+// Winnerset returns the current winnerset of this process: the k-subset
+// with the smallest accusation counter.
+func (st *state) Winnerset() procset.Set { return st.winnerset }
+
+// Iterations returns how many full loop iterations have completed.
+func (st *state) Iterations() int { return st.iterations }
+
+// Accusation returns the most recently computed accusation counter for the
+// subset with the given canonical index. It is exposed for the Lemma 21/22
+// experiments.
+func (st *state) Accusation(subsetIndex int) int { return st.accusation[subsetIndex] }
+
+// Timeout returns the current timeout for the subset with the given
+// canonical index (Lemma 11 diagnostics).
+func (st *state) Timeout(subsetIndex int) int { return st.timeout[subsetIndex] }
+
+// Subsets returns the canonical enumeration of Πkn used by this instance.
+// Callers must not modify the returned slice.
+func (st *state) Subsets() []procset.Set { return st.subsets }
+
+// makeRefs interns the algorithm's shared registers: Heartbeat[q] for every
+// process and Counter[A, q] for every (set, process) pair, both 1-based on
+// the process index. reg is Env.Reg or Registry.Reg.
+func makeRefs(cfg Config, subsets []procset.Set, reg func(string) sim.Ref) (hb []sim.Ref, counters [][]sim.Ref) {
+	hb = make([]sim.Ref, cfg.N+1)
+	for q := 1; q <= cfg.N; q++ {
+		hb[q] = reg(fmt.Sprintf("Heartbeat[%d]", q))
+	}
+	counters = make([][]sim.Ref, len(subsets))
+	for ai := range subsets {
+		counters[ai] = make([]sim.Ref, cfg.N+1)
+		for q := 1; q <= cfg.N; q++ {
+			counters[ai][q] = reg(fmt.Sprintf("Counter[%d,%d]", ai, q))
+		}
+	}
+	return hb, counters
+}
+
+// Instance is the per-process coroutine form of the Figure 2 algorithm.
+// Create one with NewInstance inside the process's algorithm function and
+// call Iterate repeatedly; between calls, Output and Winnerset expose the
+// detector state for composition with other sub-automata of the same
+// process.
+type Instance struct {
+	state
+	env sim.Env
+
+	hbRefs      []sim.Ref   // Heartbeat[q], indexed by process (1-based)
+	counterRefs [][]sim.Ref // Counter[A, q], indexed by subset index, then process (1-based)
+}
+
 // NewInstance builds the instance and creates its register handles. It must
 // be called from within the process's algorithm function (it performs no
 // steps). The environment's Self() identifies the process.
@@ -123,40 +271,8 @@ func NewInstance(cfg Config, env sim.Env) (*Instance, error) {
 	if env.N() != cfg.N {
 		return nil, fmt.Errorf("antiomega: env has n = %d, config has n = %d", env.N(), cfg.N)
 	}
-	subsets := procset.KSubsets(cfg.N, cfg.K)
-	in := &Instance{
-		cfg:           cfg,
-		env:           env,
-		self:          env.Self(),
-		subsets:       subsets,
-		hbRefs:        make([]sim.Ref, cfg.N+1),
-		counterRefs:   make([][]sim.Ref, len(subsets)),
-		prevHeartbeat: make([]int, cfg.N+1),
-		timeout:       make([]int, len(subsets)),
-		timer:         make([]int, len(subsets)),
-		accusation:    make([]int, len(subsets)),
-		cnt:           make([][]int, len(subsets)),
-		scratch:       make([]int, cfg.N),
-	}
-	for q := 1; q <= cfg.N; q++ {
-		in.hbRefs[q] = env.Reg(fmt.Sprintf("Heartbeat[%d]", q))
-	}
-	for ai, a := range subsets {
-		in.counterRefs[ai] = make([]sim.Ref, cfg.N+1)
-		for q := 1; q <= cfg.N; q++ {
-			in.counterRefs[ai][q] = env.Reg(fmt.Sprintf("Counter[%d,%d]", ai, q))
-		}
-		in.cnt[ai] = make([]int, cfg.N+1)
-		in.timeout[ai] = 1
-		in.timer[ai] = 1
-		if a.Contains(in.self) {
-			in.mine = append(in.mine, ai)
-		}
-	}
-	// Initial fdOutput: any set of n−k processes (Figure 2's initializer);
-	// we use the complement of the first subset in the canonical order.
-	in.winnerset = subsets[0]
-	in.fdOutput = subsets[0].Complement(cfg.N)
+	in := &Instance{state: newState(cfg, env.Self()), env: env}
+	in.hbRefs, in.counterRefs = makeRefs(cfg, in.subsets, env.Reg)
 	return in, nil
 }
 
@@ -176,23 +292,13 @@ func asInt(v any) int {
 // It costs |Πkn|·n + 1 + n + (#expired sets) steps.
 func (in *Instance) Iterate() {
 	n := in.cfg.N
-	// Lines 2–5: choose FD output.
+	// Lines 2–5: collect all counters, choose FD output.
 	for ai := range in.subsets {
 		for q := 1; q <= n; q++ {
 			in.cnt[ai][q] = asInt(in.env.Read(in.counterRefs[ai][q]))
 		}
 	}
-	for ai := range in.subsets {
-		in.accusation[ai] = in.aggregate(in.cnt[ai])
-	}
-	winner := 0
-	for ai := 1; ai < len(in.subsets); ai++ {
-		if in.accusation[ai] < in.accusation[winner] {
-			winner = ai
-		}
-	}
-	in.winnerset = in.subsets[winner]
-	in.fdOutput = in.winnerset.Complement(n)
+	in.chooseWinner()
 
 	// Lines 6–7: bump heartbeat.
 	in.myHb++
@@ -200,79 +306,23 @@ func (in *Instance) Iterate() {
 
 	// Lines 8–13: check other processes' heartbeats.
 	for q := 1; q <= n; q++ {
-		hbq := asInt(in.env.Read(in.hbRefs[q]))
-		if hbq > in.prevHeartbeat[q] {
-			member := procset.ID(q)
-			for ai, a := range in.subsets {
-				if a.Contains(member) {
-					in.timer[ai] = in.timeout[ai]
-				}
-			}
-			in.prevHeartbeat[q] = hbq
-		}
+		in.noteHeartbeat(q, asInt(in.env.Read(in.hbRefs[q])))
 	}
 
 	// Lines 14–19: check for expiration of set timers.
 	for ai := range in.subsets {
-		in.timer[ai]--
-		if in.timer[ai] == 0 {
-			if !in.cfg.FixedTimeout {
-				in.timeout[ai]++
-			}
-			in.timer[ai] = in.timeout[ai]
+		if in.tickTimer(ai) {
 			in.env.Write(in.counterRefs[ai][in.self], in.cnt[ai][in.self]+1)
 		}
 	}
 	in.iterations++
 }
 
-// aggregate computes the accusation counter from cnt[1..n] per the
-// configured policy; the paper's Definition 13 is the (t+1)-st smallest,
-// clamped to n (relevant only for t = n−1, where t+1 = n is the largest).
-func (in *Instance) aggregate(cnt []int) int {
-	vals := in.scratch[:0]
-	vals = append(vals, cnt[1:]...)
-	sort.Ints(vals)
-	switch in.cfg.Aggregate {
-	case AggregateMin:
-		return vals[0]
-	case AggregateMax:
-		return vals[len(vals)-1]
-	default:
-		k := in.cfg.T + 1
-		if k > len(vals) {
-			k = len(vals)
-		}
-		return vals[k-1]
-	}
-}
-
-// Output returns the current fdOutput of this process: Πn − winnerset,
-// a set of n−k processes.
-func (in *Instance) Output() procset.Set { return in.fdOutput }
-
-// Winnerset returns the current winnerset of this process: the k-subset with
-// the smallest accusation counter.
-func (in *Instance) Winnerset() procset.Set { return in.winnerset }
-
-// Iterations returns how many full loop iterations have completed.
-func (in *Instance) Iterations() int { return in.iterations }
-
-// Accusation returns the most recently computed accusation counter for the
-// subset with the given canonical index. It is exposed for the Lemma 21/22
-// experiments.
-func (in *Instance) Accusation(subsetIndex int) int { return in.accusation[subsetIndex] }
-
-// Timeout returns the current timeout for the subset with the given
-// canonical index (Lemma 11 diagnostics).
-func (in *Instance) Timeout(subsetIndex int) int { return in.timeout[subsetIndex] }
-
-// Subsets returns the canonical enumeration of Πkn used by this instance.
-// Callers must not modify the returned slice.
-func (in *Instance) Subsets() []procset.Set { return in.subsets }
-
 // Detector bundles n instances whose outputs are observable by the harness.
-// It is the package's convenience layer for running the detector alone.
+// It is the package's convenience layer for running the detector alone, in
+// either execution mode: wire Algorithm into sim.Config.Algorithm for the
+// coroutine path or Machine into sim.Config.Machine for direct dispatch —
+// the harness-visible behavior is identical.
 type Detector struct {
 	cfg     Config
 	outputs []procset.Set // indexed by process (1-based); harness-visible
@@ -283,7 +333,7 @@ type Detector struct {
 
 // NewDetector returns a detector harness for the given configuration.
 // onOutput, if non-nil, is invoked from algorithm code whenever a process's
-// fdOutput changes; per the simulator's park barrier it runs serially.
+// fdOutput changes; per the simulator's serial stepping it runs serially.
 func NewDetector(cfg Config, onOutput func(p procset.ID, out procset.Set)) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -297,7 +347,7 @@ func NewDetector(cfg Config, onOutput func(p procset.ID, out procset.Set)) (*Det
 	}, nil
 }
 
-// Algorithm returns the process code: an endless loop of Figure 2
+// Algorithm returns the coroutine process code: an endless loop of Figure 2
 // iterations, publishing output changes to the harness.
 func (d *Detector) Algorithm(p procset.ID) sim.Algorithm {
 	return func(env sim.Env) {
@@ -308,16 +358,47 @@ func (d *Detector) Algorithm(p procset.ID) sim.Algorithm {
 		prev := procset.EmptySet
 		for {
 			in.Iterate()
-			d.outputs[p] = in.Output()
-			d.winners[p] = in.Winnerset()
-			d.iters[p] = in.Iterations()
-			if in.Output() != prev {
-				prev = in.Output()
-				if d.onOut != nil {
-					d.onOut(p, prev)
-				}
-			}
+			d.publish(p, &in.state, &prev)
 		}
+	}
+}
+
+// Machine returns the direct-dispatch process code: the machine equivalent
+// of Algorithm(p), publishing to the same harness state at the same points
+// of the operation stream.
+func (d *Detector) Machine(p procset.ID, regs sim.Registry) sim.Machine {
+	m, err := NewMachineInstance(d.cfg, p, regs)
+	if err != nil {
+		panic(err) // configuration was validated in NewDetector
+	}
+	prev := procset.EmptySet
+	m.onIterate = func(m *MachineInstance) {
+		d.publish(p, &m.state, &prev)
+	}
+	return m
+}
+
+// publish mirrors one completed iteration into the harness-visible arrays
+// and fires the output-change callback.
+func (d *Detector) publish(p procset.ID, st *state, prev *procset.Set) {
+	d.outputs[p] = st.fdOutput
+	d.winners[p] = st.winnerset
+	d.iters[p] = st.iterations
+	if st.fdOutput != *prev {
+		*prev = st.fdOutput
+		if d.onOut != nil {
+			d.onOut(p, *prev)
+		}
+	}
+}
+
+// Reset clears the harness-visible detector state so the detector can be
+// reused across runs of a Reset simulator (the campaign pool's path).
+func (d *Detector) Reset() {
+	for i := range d.outputs {
+		d.outputs[i] = procset.EmptySet
+		d.winners[i] = procset.EmptySet
+		d.iters[i] = 0
 	}
 }
 

@@ -1,0 +1,131 @@
+// The direct-dispatch form of Figure 2: the same automaton as Instance with
+// its program counter made explicit, so sim.Runner can step it with plain
+// function calls instead of coroutine handoffs. This is the hot path of
+// every detector campaign.
+
+package antiomega
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// mPhase locates the machine inside one Figure 2 iteration.
+type mPhase int
+
+const (
+	// phaseCounters: reading Counter[ai][q], row-major (lines 2–3).
+	phaseCounters mPhase = iota
+	// phaseHeartbeatWrite: the own-heartbeat write is in flight (lines 6–7).
+	phaseHeartbeatWrite
+	// phaseHeartbeats: reading Heartbeat[q] (lines 8–13).
+	phaseHeartbeats
+	// phaseExpiry: writing Counter[ai][self] for expired sets (lines 14–19).
+	phaseExpiry
+)
+
+// MachineInstance is the direct-dispatch port of Instance. It issues
+// op-for-op the operation stream of Instance.Iterate in an endless loop and
+// runs the same local computations (the shared state methods) at the same
+// points of that stream, so a machine-mode detector replays a coroutine
+// detector's StepInfo stream bit for bit — machine_test.go pins this.
+//
+// The machine never halts: like the coroutine form, crashes are expressed
+// by the schedule ceasing to contain the process.
+type MachineInstance struct {
+	state
+
+	hbRefs      []sim.Ref
+	counterRefs [][]sim.Ref
+
+	primed bool // whether the first operation has been issued
+	phase  mPhase
+	ai, q  int // cursors identifying the operation currently in flight
+
+	// onIterate, if non-nil, runs after each completed iteration — inside
+	// the Next call that consumes the iteration's final operation, i.e. at
+	// the exact point the coroutine Detector publishes. The Detector wires
+	// its publication here.
+	onIterate func(*MachineInstance)
+}
+
+// NewMachineInstance builds the machine for one process and interns its
+// register handles. It performs no steps.
+func NewMachineInstance(cfg Config, self procset.ID, regs sim.Registry) (*MachineInstance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self < 1 || int(self) > cfg.N {
+		return nil, fmt.Errorf("antiomega: self = %v outside Π%d", self, cfg.N)
+	}
+	m := &MachineInstance{state: newState(cfg, self)}
+	m.hbRefs, m.counterRefs = makeRefs(cfg, m.subsets, regs.Reg)
+	return m, nil
+}
+
+// Next implements sim.Machine: consume the result of the operation in
+// flight, run the local computation that follows it in Figure 2, and issue
+// the next operation.
+func (m *MachineInstance) Next(prev any) (sim.Op, bool) {
+	if !m.primed {
+		// First activation: issue the first counter read of iteration one.
+		m.primed = true
+		m.phase, m.ai, m.q = phaseCounters, 0, 1
+		return sim.ReadOp(m.counterRefs[0][1]), true
+	}
+	n := m.cfg.N
+	switch m.phase {
+	case phaseCounters:
+		m.cnt[m.ai][m.q] = asInt(prev)
+		switch {
+		case m.q < n:
+			m.q++
+		case m.ai < len(m.subsets)-1:
+			m.ai++
+			m.q = 1
+		default:
+			// All counters collected: lines 4–5 locally, then lines 6–7.
+			m.chooseWinner()
+			m.myHb++
+			m.phase = phaseHeartbeatWrite
+			return sim.WriteOp(m.hbRefs[m.self], m.myHb), true
+		}
+		return sim.ReadOp(m.counterRefs[m.ai][m.q]), true
+	case phaseHeartbeatWrite:
+		m.phase, m.q = phaseHeartbeats, 1
+		return sim.ReadOp(m.hbRefs[1]), true
+	case phaseHeartbeats:
+		m.noteHeartbeat(m.q, asInt(prev))
+		if m.q < n {
+			m.q++
+			return sim.ReadOp(m.hbRefs[m.q]), true
+		}
+		m.phase, m.ai = phaseExpiry, -1
+		return m.advanceExpiry(), true
+	case phaseExpiry:
+		return m.advanceExpiry(), true
+	default:
+		panic(fmt.Sprintf("antiomega: invalid machine phase %d", m.phase))
+	}
+}
+
+// advanceExpiry scans lines 14–19 from the set after the one whose
+// accusation write just landed, returning the next expiry write — or, when
+// every timer has been ticked, closing the iteration and returning the
+// first counter read of the next one.
+func (m *MachineInstance) advanceExpiry() sim.Op {
+	for ai := m.ai + 1; ai < len(m.subsets); ai++ {
+		if m.tickTimer(ai) {
+			m.ai = ai
+			return sim.WriteOp(m.counterRefs[ai][m.self], m.cnt[ai][m.self]+1)
+		}
+	}
+	m.iterations++
+	if m.onIterate != nil {
+		m.onIterate(m)
+	}
+	m.phase, m.ai, m.q = phaseCounters, 0, 1
+	return sim.ReadOp(m.counterRefs[0][1])
+}

@@ -42,8 +42,8 @@ func New(env sim.Env, name string) *Object {
 	n := env.N()
 	o := &Object{env: env, n: n, a: make([]sim.Ref, n+1), b: make([]sim.Ref, n+1)}
 	for q := 1; q <= n; q++ {
-		o.a[q] = env.Reg(fmt.Sprintf("ca[%s].A[%d]", name, q))
-		o.b[q] = env.Reg(fmt.Sprintf("ca[%s].B[%d]", name, q))
+		o.a[q] = env.Reg(regNameA(name, q))
+		o.b[q] = env.Reg(regNameB(name, q))
 	}
 	return o
 }

@@ -1,8 +1,6 @@
 package commitadopt
 
 import (
-	"fmt"
-
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
 
@@ -33,7 +31,7 @@ func NewConsensus(env sim.Env, name string) *Consensus {
 	return &Consensus{
 		env:  env,
 		name: name,
-		dec:  env.Reg(fmt.Sprintf("cacons[%s].D", name)),
+		dec:  env.Reg(regNameDec(name)),
 	}
 }
 
@@ -62,7 +60,7 @@ func (c *Consensus) Attempt(v any) (any, bool) {
 		c.est = v
 	}
 	c.round++
-	ca := New(c.env, fmt.Sprintf("%s.r%d", c.name, c.round))
+	ca := New(c.env, roundName(c.name, c.round))
 	commit, u := ca.Propose(c.est)
 	c.est = u
 	if !commit {

@@ -1,0 +1,172 @@
+package commitadopt
+
+import (
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// caResult is one process's delivered (commit, value) pair.
+type caResult struct {
+	commit bool
+	val    any
+}
+
+// proposeSnapshot runs an n-process commit-adopt (each proposing its id)
+// over the schedule in the requested mode, returning the StepInfo stream
+// and the delivered results.
+func proposeSnapshot(t *testing.T, n int, s sched.Schedule, machineMode bool) ([]sim.StepInfo, []*caResult) {
+	t.Helper()
+	var trace []sim.StepInfo
+	results := make([]*caResult, n+1)
+	cfg := sim.Config{N: n, Observer: func(info sim.StepInfo) { trace = append(trace, info) }}
+	if machineMode {
+		cfg.Machine = func(p procset.ID, regs sim.Registry) sim.Machine {
+			return NewProposeMachine(regs, "x", p, n, int(p), func(commit bool, val any) {
+				results[p] = &caResult{commit: commit, val: val}
+			})
+		}
+	} else {
+		cfg.Algorithm = func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				o := New(env, "x")
+				c, v := o.Propose(int(p))
+				results[p] = &caResult{commit: c, val: v}
+			}
+		}
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(s)
+	return trace, results
+}
+
+// chainSnapshot runs the chain-consensus workload (each process attempting
+// 10·p until a round commits) in the requested mode.
+func chainSnapshot(t *testing.T, n int, s sched.Schedule, machineMode bool) ([]sim.StepInfo, []any) {
+	t.Helper()
+	var trace []sim.StepInfo
+	decisions := make([]any, n+1)
+	cfg := sim.Config{N: n, Observer: func(info sim.StepInfo) { trace = append(trace, info) }}
+	if machineMode {
+		cfg.Machine = func(p procset.ID, regs sim.Registry) sim.Machine {
+			return NewConsensusMachine(regs, "c", p, n, int(p)*10, func(val any) {
+				decisions[p] = val
+			})
+		}
+	} else {
+		cfg.Algorithm = func(p procset.ID) sim.Algorithm {
+			return func(env sim.Env) {
+				in := NewConsensus(env, "c")
+				for {
+					if d, ok := in.Attempt(int(p) * 10); ok {
+						decisions[p] = d
+						return
+					}
+				}
+			}
+		}
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(s)
+	return trace, decisions
+}
+
+func sameTraces(t *testing.T, label string, a, b []sim.StepInfo) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: StepInfo streams diverge at step %d:\n  %+v\n  %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestProposeMachineMatchesObject pins the port: identical StepInfo streams
+// and identical delivered results on adversarial interleavings.
+func TestProposeMachineMatchesObject(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	for seed := int64(0); seed < 20; seed++ {
+		src, err := sched.Random(n, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sched.Take(src, 40) // enough for some but not all to finish
+		coroTrace, coroRes := proposeSnapshot(t, n, s, false)
+		machTrace, machRes := proposeSnapshot(t, n, s, true)
+		sameTraces(t, "propose", coroTrace, machTrace)
+		for p := 1; p <= n; p++ {
+			a, b := coroRes[p], machRes[p]
+			if (a == nil) != (b == nil) {
+				t.Fatalf("seed %d: p%d finished in one mode only", seed, p)
+			}
+			if a != nil && *a != *b {
+				t.Fatalf("seed %d: p%d results differ: %+v vs %+v", seed, p, *a, *b)
+			}
+		}
+	}
+}
+
+// TestConsensusMachineMatchesChain pins the chain port the same way, on
+// schedules long enough for decisions to land.
+func TestConsensusMachineMatchesChain(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	for seed := int64(0); seed < 10; seed++ {
+		src, err := sched.Random(n, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sched.Take(src, 400)
+		coroTrace, coroDec := chainSnapshot(t, n, s, false)
+		machTrace, machDec := chainSnapshot(t, n, s, true)
+		sameTraces(t, "chain", coroTrace, machTrace)
+		for p := 1; p <= n; p++ {
+			if coroDec[p] != machDec[p] {
+				t.Fatalf("seed %d: p%d decisions differ: %v vs %v", seed, p, coroDec[p], machDec[p])
+			}
+		}
+	}
+}
+
+// TestConsensusMachineAgreement sanity-checks safety of the machine form on
+// its own: all delivered decisions agree and are proposals.
+func TestConsensusMachineAgreement(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	for seed := int64(0); seed < 10; seed++ {
+		src, err := sched.Random(n, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, decisions := chainSnapshot(t, n, sched.Take(src, 2000), true)
+		var first any
+		for p := 1; p <= n; p++ {
+			d := decisions[p]
+			if d == nil {
+				continue
+			}
+			v, ok := d.(int)
+			if !ok || v%10 != 0 || v < 10 || v > 10*n {
+				t.Fatalf("seed %d: p%d decided non-proposal %v", seed, p, d)
+			}
+			if first == nil {
+				first = d
+			} else if d != first {
+				t.Fatalf("seed %d: disagreement %v vs %v", seed, first, d)
+			}
+		}
+	}
+}

@@ -32,6 +32,11 @@ type ConvergenceConfig struct {
 // RunConvergenceSweep measures detector convergence across a population of
 // schedules: each trial reports stabilization (verdict "stable"), steps to
 // stabilization, and the k-anti-Ω property check on the recorded history.
+//
+// Trials execute on the pooled direct-dispatch path: each campaign worker
+// keeps one detector rig (runner + harness + history) and replays it via
+// Reset, so a sweep of thousands of trials builds at most one rig per
+// worker. Summaries are bit-identical to unpooled execution.
 func RunConvergenceSweep(ctx context.Context, cfg ConvergenceConfig, seed int64, onResult func(campaign.Outcome)) (*campaign.Report, error) {
 	acfg := antiomega.Config{N: cfg.N, K: cfg.K, T: cfg.T}
 	if err := acfg.Validate(); err != nil {
@@ -45,6 +50,8 @@ func RunConvergenceSweep(ctx context.Context, cfg ConvergenceConfig, seed int64,
 	if maxSteps == 0 {
 		maxSteps = 2_000_000
 	}
+	pool := campaign.NewPool(func() (*detectorRig, error) { return newDetectorRig(acfg) })
+	defer pool.Drain(func(rig *detectorRig) { rig.close() })
 	jobs := make([]campaign.Job, cfg.Trials)
 	for t := range jobs {
 		jobs[t] = campaign.Job{
@@ -54,10 +61,15 @@ func RunConvergenceSweep(ctx context.Context, cfg ConvergenceConfig, seed int64,
 				if err != nil {
 					return campaign.Outcome{}, err
 				}
-				run, err := driveDetector(acfg, src, maxSteps)
+				rig, err := pool.Get()
 				if err != nil {
 					return campaign.Outcome{}, err
 				}
+				defer pool.Put(rig)
+				if err := rig.reset(); err != nil {
+					return campaign.Outcome{}, err
+				}
+				run := rig.drive(src, maxSteps)
 				verdict := "stable"
 				ok := run.Stable && run.Verdict.Holds
 				switch {

@@ -59,7 +59,7 @@ func runE7(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	runner, err := sim.NewRunner(sim.Config{N: acfg.N, Algorithm: det.Algorithm, Observer: observer})
+	runner, err := sim.NewRunner(sim.Config{N: acfg.N, Machine: det.Machine, Observer: observer})
 	if err != nil {
 		return nil, err
 	}

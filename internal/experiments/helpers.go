@@ -22,24 +22,50 @@ type detectorRun struct {
 	Iterations int
 }
 
-// driveDetector runs the detector until the correct processes publish one
-// common winnerset for a sustained streak of probes, then verifies the
-// k-anti-Ω property on the recorded output history.
-func driveDetector(cfg antiomega.Config, src sched.Source, maxSteps int) (detectorRun, error) {
-	hist := fd.NewHistory(cfg.N)
-	var runner *sim.Runner
+// detectorRig bundles a reusable detector run: the direct-dispatch runner,
+// the detector harness, and the output history. The convergence campaign
+// pools rigs across jobs (reset restores all three); the one-shot drivers
+// build a fresh rig per run.
+type detectorRig struct {
+	cfg    antiomega.Config
+	runner *sim.Runner
+	det    *antiomega.Detector
+	hist   *fd.History
+}
+
+// newDetectorRig builds the rig on the machine (direct-dispatch) path — the
+// hot path of every detector experiment; equivalence with the coroutine
+// path is pinned by the antiomega machine tests.
+func newDetectorRig(cfg antiomega.Config) (*detectorRig, error) {
+	rig := &detectorRig{cfg: cfg, hist: fd.NewHistory(cfg.N)}
 	det, err := antiomega.NewDetector(cfg, func(p procset.ID, out procset.Set) {
-		hist.Record(runner.Steps(), p, out)
+		rig.hist.Record(rig.runner.Steps(), p, out)
 	})
 	if err != nil {
-		return detectorRun{}, err
+		return nil, err
 	}
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: det.Algorithm})
+	rig.det = det
+	rig.runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: det.Machine})
 	if err != nil {
-		return detectorRun{}, err
+		return nil, err
 	}
-	defer runner.Close()
+	return rig, nil
+}
 
+// reset restores the rig to its initial state for the next pooled job.
+func (rig *detectorRig) reset() error {
+	rig.det.Reset()
+	rig.hist.Reset()
+	return rig.runner.Reset()
+}
+
+func (rig *detectorRig) close() { rig.runner.Close() }
+
+// drive runs the detector until the correct processes publish one common
+// winnerset for a sustained streak of probes, then verifies the k-anti-Ω
+// property on the recorded output history.
+func (rig *detectorRig) drive(src sched.Source, maxSteps int) detectorRun {
+	runner, det := rig.runner, rig.det
 	correct := src.Correct()
 	streak := 0
 	var last procset.Set
@@ -70,8 +96,18 @@ func driveDetector(cfg antiomega.Config, src sched.Source, maxSteps int) (detect
 			run.Iterations = it
 		}
 	}
-	run.Verdict = hist.Check(cfg.K, correct)
-	return run, nil
+	run.Verdict = rig.hist.Check(rig.cfg.K, correct)
+	return run
+}
+
+// driveDetector is the one-shot form: a fresh rig driven once.
+func driveDetector(cfg antiomega.Config, src sched.Source, maxSteps int) (detectorRun, error) {
+	rig, err := newDetectorRig(cfg)
+	if err != nil {
+		return detectorRun{}, err
+	}
+	defer rig.close()
+	return rig.drive(src, maxSteps), nil
 }
 
 // detectorChurn summarizes a full-budget detector run with no early stop:
@@ -99,7 +135,7 @@ func driveDetectorChurn(cfg antiomega.Config, src sched.Source, maxSteps int) (d
 	if err != nil {
 		return detectorChurn{}, err
 	}
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: det.Algorithm})
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: det.Machine})
 	if err != nil {
 		return detectorChurn{}, err
 	}

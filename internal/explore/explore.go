@@ -2,8 +2,16 @@
 // properties: exhaustive enumeration of all schedules up to a depth bound
 // (feasible for 2–3 processes — the configurations the paper's impossibility
 // arguments care about most), and high-volume seeded random fuzzing for
-// larger systems. Both re-execute the algorithm from scratch per schedule,
-// which the deterministic simulator makes cheap and exact.
+// larger systems.
+//
+// Two execution paths produce bit-identical results:
+//
+//   - the builder path (Builder) constructs a fresh coroutine run per
+//     schedule — simple, and the form the mutation tests are written in;
+//   - the pooled path (PooledBuilder) keeps one reusable run per campaign
+//     worker — typically a direct-dispatch Machine run — and replays it via
+//     Runner.Reset, avoiding goroutine and allocation churn per schedule.
+//     This is the default path of cmd/stm-campaign.
 //
 // The package's own tests double as mutation tests: deliberately broken
 // protocol variants must be caught, which validates that the explorer (and
@@ -30,6 +38,27 @@ import (
 // concurrently; each call must return state shared with nothing outside
 // that one run.
 type Builder func() (algo func(procset.ID) sim.Algorithm, check func() error)
+
+// Run is one reusable run instance for the pooled execution path: a runner
+// plus the hooks that restore and inspect its harness-side state. Between
+// schedules the explorer calls Reset (harness state) and Runner.Reset
+// (simulator state), so a recycled Run replays exactly like a fresh one.
+type Run struct {
+	// Runner executes the schedules. The explorer owns stepping and Reset;
+	// the builder owns Close (via the pool's drain).
+	Runner *sim.Runner
+	// Reset restores the harness-side result slots before each schedule.
+	// May be nil when the check reads only simulator state.
+	Reset func()
+	// Check inspects the outcome after a schedule, returning an error
+	// describing the violation, if any.
+	Check func() error
+}
+
+// PooledBuilder creates a reusable Run. The campaign pool invokes it at
+// most once per concurrently running worker; each Run then serves many
+// schedules.
+type PooledBuilder func() (*Run, error)
 
 // Violation describes a schedule on which the check failed.
 type Violation struct {
@@ -67,6 +96,21 @@ func runOne(n int, schedule sched.Schedule, build Builder) error {
 	return nil
 }
 
+// runPooled executes one finite schedule on a recycled Run.
+func runPooled(run *Run, schedule sched.Schedule) error {
+	if run.Reset != nil {
+		run.Reset()
+	}
+	if err := run.Runner.Reset(); err != nil {
+		return err
+	}
+	run.Runner.RunSchedule(schedule)
+	if err := run.Check(); err != nil {
+		return &Violation{Schedule: schedule, Err: err}
+	}
+	return nil
+}
+
 // batchSize splits total runs into campaign jobs: small enough to shard
 // across workers, large enough that per-job overhead stays negligible.
 func batchSize(total int) int {
@@ -80,42 +124,17 @@ func batchSize(total int) int {
 	}
 }
 
-// runBatch executes runs index lo..hi-1 (schedule produced by nth) from
-// fresh builds, stopping at the first violation. The outcome counts runs in
-// the "runs" tally and carries the violation as Detail.
-func runBatch(ctx context.Context, n, lo, hi int, nth func(int) sched.Schedule, build Builder) (campaign.Outcome, error) {
-	runs := 0
-	for i := lo; i < hi; i++ {
-		if ctx.Err() != nil {
-			break
-		}
-		runs++
-		if err := runOne(n, nth(i), build); err != nil {
-			var v *Violation
-			if errors.As(err, &v) {
-				return campaign.Outcome{
-					Verdict: "violation",
-					Ok:      false,
-					Steps:   runs,
-					Tallies: map[string]int{"runs": runs},
-					Detail:  v,
-				}, nil
-			}
-			return campaign.Outcome{}, err
-		}
-	}
-	return campaign.Outcome{
-		Verdict: "ok",
-		Ok:      true,
-		Steps:   runs,
-		Tallies: map[string]int{"runs": runs},
-	}, nil
-}
+// executor runs one schedule, returning a *Violation (or an infrastructure
+// error); acquire hands a job an executor plus its release hook.
+type executor func(s sched.Schedule) error
+
+type acquireFunc func() (exec executor, release func(), err error)
 
 // runCampaign builds one job per batch of [0,total) and runs them on the
 // engine, returning the report and the violation of the smallest run index
-// found, if any.
-func runCampaign(ctx context.Context, workers, n, total int, nth func(int) sched.Schedule, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+// found, if any. Each job acquires its executor once and runs its whole
+// batch on it, stopping at the first violation.
+func runCampaign(ctx context.Context, workers, total int, nth func(int) sched.Schedule, acquire acquireFunc, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
 	batch := batchSize(total)
 	var jobs []campaign.Job
 	for lo := 0; lo < total; lo += batch {
@@ -126,7 +145,37 @@ func runCampaign(ctx context.Context, workers, n, total int, nth func(int) sched
 		jobs = append(jobs, campaign.Job{
 			Name: fmt.Sprintf("batch[%d,%d)", lo, hi),
 			Run: func(ctx context.Context, _ int64) (campaign.Outcome, error) {
-				return runBatch(ctx, n, lo, hi, nth, build)
+				exec, release, err := acquire()
+				if err != nil {
+					return campaign.Outcome{}, err
+				}
+				defer release()
+				runs := 0
+				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						break
+					}
+					runs++
+					if err := exec(nth(i)); err != nil {
+						var v *Violation
+						if errors.As(err, &v) {
+							return campaign.Outcome{
+								Verdict: "violation",
+								Ok:      false,
+								Steps:   runs,
+								Tallies: map[string]int{"runs": runs},
+								Detail:  v,
+							}, nil
+						}
+						return campaign.Outcome{}, err
+					}
+				}
+				return campaign.Outcome{
+					Verdict: "ok",
+					Ok:      true,
+					Steps:   runs,
+					Tallies: map[string]int{"runs": runs},
+				}, nil
 			},
 		})
 	}
@@ -143,6 +192,29 @@ func runCampaign(ctx context.Context, workers, n, total int, nth func(int) sched
 	return rep, runs, nil
 }
 
+// freshAcquire wraps the builder path: every schedule gets a fresh build.
+func freshAcquire(n int, build Builder) acquireFunc {
+	return func() (executor, func(), error) {
+		return func(s sched.Schedule) error { return runOne(n, s, build) }, func() {}, nil
+	}
+}
+
+// pooledCampaign wraps runCampaign with a runner pool over build, draining
+// (closing) the pooled runners when the campaign finishes.
+func pooledCampaign(ctx context.Context, workers, total int, nth func(int) sched.Schedule, build PooledBuilder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	pool := campaign.NewPool(func() (*Run, error) { return build() })
+	defer pool.Drain(func(r *Run) { r.Runner.Close() })
+	acquire := func() (executor, func(), error) {
+		run, err := pool.Get()
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(s sched.Schedule) error { return runPooled(run, s) },
+			func() { pool.Put(run) }, nil
+	}
+	return runCampaign(ctx, workers, total, nth, acquire, onResult)
+}
+
 // Exhaustive checks every schedule of exactly depth steps over n processes
 // (n^depth runs — keep n and depth small). It returns the number of runs
 // and the first violation found, if any. It is a thin wrapper over
@@ -152,18 +224,16 @@ func Exhaustive(n, depth int, build Builder) (int, error) {
 	return runs, err
 }
 
-// ExhaustiveCampaign shards the exhaustive enumeration across workers
-// (0 means GOMAXPROCS). Schedules are enumerated in a fixed order (run r's
-// step i is digit i of r in base n), so which schedules run is independent
-// of sharding; when a violation exists the reported one is the violation of
-// the smallest run index found before cancellation, which may differ from
-// the sequential first under parallelism.
-func ExhaustiveCampaign(ctx context.Context, workers, n, depth int, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+// exhaustiveSpace validates the (n, depth) bounds and returns the run count
+// and the fixed schedule enumeration (run r's step i is digit i of r in
+// base n), so which schedules run is independent of sharding and of the
+// execution path.
+func exhaustiveSpace(n, depth int) (int, func(int) sched.Schedule, error) {
 	if n < 1 || n > 4 {
-		return nil, 0, fmt.Errorf("explore: Exhaustive supports 1 ≤ n ≤ 4, got %d", n)
+		return 0, nil, fmt.Errorf("explore: Exhaustive supports 1 ≤ n ≤ 4, got %d", n)
 	}
 	if depth < 1 || depth > 24 {
-		return nil, 0, fmt.Errorf("explore: depth %d out of range [1,24]", depth)
+		return 0, nil, fmt.Errorf("explore: depth %d out of range [1,24]", depth)
 	}
 	total := 1
 	for i := 0; i < depth; i++ {
@@ -177,7 +247,31 @@ func ExhaustiveCampaign(ctx context.Context, workers, n, depth int, build Builde
 		}
 		return schedule
 	}
-	return runCampaign(ctx, workers, n, total, nth, build, onResult)
+	return total, nth, nil
+}
+
+// ExhaustiveCampaign shards the exhaustive enumeration across workers
+// (0 means GOMAXPROCS) on the builder path. When a violation exists the
+// reported one is the violation of the smallest run index found before
+// cancellation, which may differ from the sequential first under
+// parallelism.
+func ExhaustiveCampaign(ctx context.Context, workers, n, depth int, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	total, nth, err := exhaustiveSpace(n, depth)
+	if err != nil {
+		return nil, 0, err
+	}
+	return runCampaign(ctx, workers, total, nth, freshAcquire(n, build), onResult)
+}
+
+// ExhaustivePooledCampaign is ExhaustiveCampaign on the pooled path: the
+// same enumeration executed on per-worker reusable runs. Results are
+// bit-identical to the builder path.
+func ExhaustivePooledCampaign(ctx context.Context, workers, n, depth int, build PooledBuilder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	total, nth, err := exhaustiveSpace(n, depth)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pooledCampaign(ctx, workers, total, nth, build, onResult)
 }
 
 // FuzzRandom checks seeded random schedules (seeds runs of steps steps) with
@@ -189,32 +283,54 @@ func FuzzRandom(n, steps, seeds int, crashPatterns []map[procset.ID]int, build B
 	return runs, err
 }
 
-// FuzzCampaign shards seeded random fuzzing across workers (0 means
-// GOMAXPROCS). Run index r covers schedule seed base+r/len(patterns) with
-// crash pattern r%len(patterns), so coverage is independent of sharding.
-func FuzzCampaign(ctx context.Context, workers, n, steps, seeds int, base int64, crashPatterns []map[procset.ID]int, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+// fuzzSpace validates the generators and returns the run count and the
+// schedule enumeration: run index r covers schedule seed base+r/len(patterns)
+// with crash pattern r%len(patterns), so coverage is independent of sharding
+// and of the execution path.
+func fuzzSpace(n, steps, seeds int, base int64, crashPatterns []map[procset.ID]int) (int, func(int) sched.Schedule, error) {
 	if len(crashPatterns) == 0 {
 		crashPatterns = []map[procset.ID]int{nil}
+	}
+	// Validate once up front so job workers cannot hit generator errors.
+	if _, err := sched.Random(n, base, nil); err != nil {
+		return 0, nil, err
+	}
+	for _, crashes := range crashPatterns {
+		if _, err := sched.Random(n, base, crashes); err != nil {
+			return 0, nil, err
+		}
 	}
 	nth := func(r int) sched.Schedule {
 		seed := base + int64(r/len(crashPatterns))
 		crashes := crashPatterns[r%len(crashPatterns)]
 		src, err := sched.Random(n, seed, crashes)
 		if err != nil {
-			// n and every crash pattern are validated before the campaign
-			// starts, so the generator cannot fail here.
+			// n and every crash pattern were validated above, so the
+			// generator cannot fail here.
 			panic(err)
 		}
 		return sched.Take(src, steps)
 	}
-	// Validate once up front so job workers cannot hit generator errors.
-	if _, err := sched.Random(n, base, nil); err != nil {
+	return seeds * len(crashPatterns), nth, nil
+}
+
+// FuzzCampaign shards seeded random fuzzing across workers (0 means
+// GOMAXPROCS) on the builder path.
+func FuzzCampaign(ctx context.Context, workers, n, steps, seeds int, base int64, crashPatterns []map[procset.ID]int, build Builder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	total, nth, err := fuzzSpace(n, steps, seeds, base, crashPatterns)
+	if err != nil {
 		return nil, 0, err
 	}
-	for _, crashes := range crashPatterns {
-		if _, err := sched.Random(n, base, crashes); err != nil {
-			return nil, 0, err
-		}
+	return runCampaign(ctx, workers, total, nth, freshAcquire(n, build), onResult)
+}
+
+// FuzzPooledCampaign is FuzzCampaign on the pooled path: the same schedule
+// population executed on per-worker reusable runs. Results are bit-identical
+// to the builder path.
+func FuzzPooledCampaign(ctx context.Context, workers, n, steps, seeds int, base int64, crashPatterns []map[procset.ID]int, build PooledBuilder, onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
+	total, nth, err := fuzzSpace(n, steps, seeds, base, crashPatterns)
+	if err != nil {
+		return nil, 0, err
 	}
-	return runCampaign(ctx, workers, n, seeds*len(crashPatterns), nth, build, onResult)
+	return pooledCampaign(ctx, workers, total, nth, build, onResult)
 }

@@ -10,26 +10,91 @@ import (
 )
 
 // Named fuzz targets: ready-made builders for the protocols whose safety the
-// explorer guards, used by cmd/stm-campaign and reusable from tests. Each
-// returned Builder is safe for concurrent use by campaign workers.
+// explorer guards, used by cmd/stm-campaign and reusable from tests. Every
+// target exists in two forms with bit-identical verdicts: a Builder (fresh
+// coroutine run per schedule) and a PooledBuilder (per-worker reusable run,
+// direct-dispatch where the protocol has a Machine port). Each returned
+// builder is safe for concurrent use by campaign workers.
 
-// Target names accepted by TargetBuilder.
+// Target names accepted by TargetBuilder and PooledTargetBuilder.
 const (
 	TargetCommitAdopt = "commitadopt"
 	TargetConsensus   = "consensus"
+	// TargetCAChain is consensus built from the commit-adopt chain engine —
+	// the same workload as TargetConsensus on the repo's second engine.
+	TargetCAChain = "cachain"
 )
 
-// TargetBuilder returns the named builder for n processes.
+func unknownTarget(name string) error {
+	return fmt.Errorf("explore: unknown fuzz target %q (want %s, %s, or %s)",
+		name, TargetCommitAdopt, TargetConsensus, TargetCAChain)
+}
+
+// TargetBuilder returns the named builder (fresh-run path) for n processes.
 func TargetBuilder(name string, n int) (Builder, error) {
 	switch name {
 	case TargetCommitAdopt:
 		return CommitAdoptBuilder(n), nil
 	case TargetConsensus:
 		return ConsensusBuilder(n), nil
+	case TargetCAChain:
+		return CAChainBuilder(n), nil
 	default:
-		return nil, fmt.Errorf("explore: unknown fuzz target %q (want %s or %s)",
-			name, TargetCommitAdopt, TargetConsensus)
+		return nil, unknownTarget(name)
 	}
+}
+
+// PooledTargetBuilder returns the named pooled builder for n processes:
+// commitadopt and cachain run their direct-dispatch Machine ports;
+// consensus (Disk-Paxos, no Machine port) runs Reset-reused coroutines.
+func PooledTargetBuilder(name string, n int) (PooledBuilder, error) {
+	switch name {
+	case TargetCommitAdopt:
+		return CommitAdoptPooledBuilder(n), nil
+	case TargetConsensus:
+		return ConsensusPooledBuilder(n), nil
+	case TargetCAChain:
+		return CAChainPooledBuilder(n), nil
+	default:
+		return nil, unknownTarget(name)
+	}
+}
+
+// caResult is one process's delivered commit-adopt outcome.
+type caResult struct {
+	commit bool
+	val    any
+}
+
+// checkCommitAdopt enforces validity, agreement on commit, and that every
+// finisher adopted the committed value.
+func checkCommitAdopt(n int, results []*caResult) error {
+	var committed any
+	for p := 1; p <= n; p++ {
+		r := results[p]
+		if r == nil {
+			continue // did not finish within this schedule: fine
+		}
+		v, ok := r.val.(int)
+		if !ok || v < 1 || v > n {
+			return fmt.Errorf("p%d returned non-proposal %v", p, r.val)
+		}
+		if r.commit {
+			if committed != nil && committed != r.val {
+				return fmt.Errorf("commit disagreement: %v vs %v", committed, r.val)
+			}
+			committed = r.val
+		}
+	}
+	if committed == nil {
+		return nil
+	}
+	for p := 1; p <= n; p++ {
+		if r := results[p]; r != nil && r.val != committed {
+			return fmt.Errorf("p%d carries %v, committed %v", p, r.val, committed)
+		}
+	}
+	return nil
 }
 
 // CommitAdoptBuilder builds a commit-adopt run where each process proposes
@@ -37,48 +102,61 @@ func TargetBuilder(name string, n int) (Builder, error) {
 // finisher adopted the committed value.
 func CommitAdoptBuilder(n int) Builder {
 	return func() (func(procset.ID) sim.Algorithm, func() error) {
-		type result struct {
-			commit bool
-			val    any
-		}
-		results := make([]*result, n+1)
+		results := make([]*caResult, n+1)
 		algo := func(p procset.ID) sim.Algorithm {
 			return func(env sim.Env) {
 				o := commitadopt.New(env, "x")
 				c, v := o.Propose(int(p))
-				results[p] = &result{commit: c, val: v}
+				results[p] = &caResult{commit: c, val: v}
 			}
 		}
-		check := func() error {
-			var committed any
-			for p := 1; p <= n; p++ {
-				r := results[p]
-				if r == nil {
-					continue // did not finish within this schedule: fine
-				}
-				v, ok := r.val.(int)
-				if !ok || v < 1 || v > n {
-					return fmt.Errorf("p%d returned non-proposal %v", p, r.val)
-				}
-				if r.commit {
-					if committed != nil && committed != r.val {
-						return fmt.Errorf("commit disagreement: %v vs %v", committed, r.val)
-					}
-					committed = r.val
-				}
-			}
-			if committed == nil {
-				return nil
-			}
-			for p := 1; p <= n; p++ {
-				if r := results[p]; r != nil && r.val != committed {
-					return fmt.Errorf("p%d carries %v, committed %v", p, r.val, committed)
-				}
-			}
-			return nil
-		}
-		return algo, check
+		return algo, func() error { return checkCommitAdopt(n, results) }
 	}
+}
+
+// CommitAdoptPooledBuilder is CommitAdoptBuilder on the pooled path: one
+// direct-dispatch runner per worker, machines rebuilt by Runner.Reset.
+func CommitAdoptPooledBuilder(n int) PooledBuilder {
+	return func() (*Run, error) {
+		results := make([]*caResult, n+1)
+		runner, err := sim.NewRunner(sim.Config{
+			N: n,
+			Machine: func(p procset.ID, regs sim.Registry) sim.Machine {
+				return commitadopt.NewProposeMachine(regs, "x", p, n, int(p), func(commit bool, val any) {
+					results[p] = &caResult{commit: commit, val: val}
+				})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Run{
+			Runner: runner,
+			Reset:  func() { clear(results) },
+			Check:  func() error { return checkCommitAdopt(n, results) },
+		}, nil
+	}
+}
+
+// checkDecisions enforces that decisions are proposals (10·p) and agree.
+func checkDecisions(n int, decisions []any) error {
+	var first any
+	for p := 1; p <= n; p++ {
+		d := decisions[p]
+		if d == nil {
+			continue
+		}
+		v, ok := d.(int)
+		if !ok || v%10 != 0 || v < 10 || v > 10*n {
+			return fmt.Errorf("p%d decided non-proposal %v", p, d)
+		}
+		if first == nil {
+			first = d
+		} else if d != first {
+			return fmt.Errorf("disagreement: %v vs %v", first, d)
+		}
+	}
+	return nil
 }
 
 // ConsensusBuilder builds contending Disk-Paxos proposers (process p
@@ -87,9 +165,53 @@ func CommitAdoptBuilder(n int) Builder {
 func ConsensusBuilder(n int) Builder {
 	return func() (func(procset.ID) sim.Algorithm, func() error) {
 		decisions := make([]any, n+1)
+		algo := consensusAlgo(n, decisions)
+		return algo, func() error { return checkDecisions(n, decisions) }
+	}
+}
+
+// consensusAlgo is the Disk-Paxos workload shared by both consensus paths.
+func consensusAlgo(n int, decisions []any) func(procset.ID) sim.Algorithm {
+	return func(p procset.ID) sim.Algorithm {
+		return func(env sim.Env) {
+			in := consensus.NewInstance(env, "c")
+			for {
+				if d, ok := in.Attempt(int(p) * 10); ok {
+					decisions[p] = d
+					return
+				}
+			}
+		}
+	}
+}
+
+// ConsensusPooledBuilder is ConsensusBuilder on the pooled path. Disk-Paxos
+// has no Machine port, so this pools the coroutine runner itself: Reset
+// respawns the process goroutines but keeps the interned register plane,
+// exercising pooling orthogonally to direct dispatch.
+func ConsensusPooledBuilder(n int) PooledBuilder {
+	return func() (*Run, error) {
+		decisions := make([]any, n+1)
+		runner, err := sim.NewRunner(sim.Config{N: n, Algorithm: consensusAlgo(n, decisions)})
+		if err != nil {
+			return nil, err
+		}
+		return &Run{
+			Runner: runner,
+			Reset:  func() { clear(decisions) },
+			Check:  func() error { return checkDecisions(n, decisions) },
+		}, nil
+	}
+}
+
+// CAChainBuilder builds contending commit-adopt-chain proposers (process p
+// repeatedly attempts value 10p); the check is the same as for consensus.
+func CAChainBuilder(n int) Builder {
+	return func() (func(procset.ID) sim.Algorithm, func() error) {
+		decisions := make([]any, n+1)
 		algo := func(p procset.ID) sim.Algorithm {
 			return func(env sim.Env) {
-				in := consensus.NewInstance(env, "c")
+				in := commitadopt.NewConsensus(env, "c")
 				for {
 					if d, ok := in.Attempt(int(p) * 10); ok {
 						decisions[p] = d
@@ -98,25 +220,30 @@ func ConsensusBuilder(n int) Builder {
 				}
 			}
 		}
-		check := func() error {
-			var first any
-			for p := 1; p <= n; p++ {
-				d := decisions[p]
-				if d == nil {
-					continue
-				}
-				v, ok := d.(int)
-				if !ok || v%10 != 0 || v < 10 || v > 10*n {
-					return fmt.Errorf("p%d decided non-proposal %v", p, d)
-				}
-				if first == nil {
-					first = d
-				} else if d != first {
-					return fmt.Errorf("disagreement: %v vs %v", first, d)
-				}
-			}
-			return nil
+		return algo, func() error { return checkDecisions(n, decisions) }
+	}
+}
+
+// CAChainPooledBuilder is CAChainBuilder on the pooled direct-dispatch
+// path, running the ConsensusMachine port.
+func CAChainPooledBuilder(n int) PooledBuilder {
+	return func() (*Run, error) {
+		decisions := make([]any, n+1)
+		runner, err := sim.NewRunner(sim.Config{
+			N: n,
+			Machine: func(p procset.ID, regs sim.Registry) sim.Machine {
+				return commitadopt.NewConsensusMachine(regs, "c", p, n, int(p)*10, func(val any) {
+					decisions[p] = val
+				})
+			},
+		})
+		if err != nil {
+			return nil, err
 		}
-		return algo, check
+		return &Run{
+			Runner: runner,
+			Reset:  func() { clear(decisions) },
+			Check:  func() error { return checkDecisions(n, decisions) },
+		}, nil
 	}
 }

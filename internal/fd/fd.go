@@ -39,6 +39,10 @@ func (h *History) Record(step int, proc procset.ID, output procset.Set) {
 	h.events = append(h.events, OutputEvent{Step: step, Proc: proc, Output: output})
 }
 
+// Reset discards all recorded events (keeping capacity) so the history can
+// be reused across runs of a pooled simulator.
+func (h *History) Reset() { h.events = h.events[:0] }
+
 // Events returns the recorded events (not a copy; callers must not mutate).
 func (h *History) Events() []OutputEvent { return h.events }
 

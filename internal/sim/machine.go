@@ -1,0 +1,115 @@
+// Direct-dispatch execution: first-class automata stepped with plain
+// function calls.
+//
+// The coroutine path (Algorithm) is the convenient way to write a process —
+// straight-line Go code that blocks on Read/Write — but every step pays two
+// unbuffered-channel handoffs and the goroutine context switches around
+// them. A Machine is the same automaton made explicit: the runner hands it
+// the result of its previous operation and it returns its next request, so a
+// step is one function call on the stepping goroutine. Both forms execute
+// under the same Runner with identical observable behavior (StepInfo
+// streams, harness-visible state between steps), which the algorithm
+// packages verify with equivalence tests.
+
+package sim
+
+// Op is the operation a Machine requests from the runner: one read or write
+// of one shared register.
+type Op struct {
+	// Kind is OpRead or OpWrite.
+	Kind OpKind
+	// Reg is the register to operate on, obtained from the Registry the
+	// machine was built with.
+	Reg Ref
+	// Value is the value to store for OpWrite; ignored for OpRead.
+	Value any
+}
+
+// ReadOp returns a read request for r.
+func ReadOp(r Ref) Op { return Op{Kind: OpRead, Reg: r} }
+
+// WriteOp returns a write request storing v in r.
+func WriteOp(r Ref, v any) Op { return Op{Kind: OpWrite, Reg: r, Value: v} }
+
+// Machine is an explicit process automaton, the direct-dispatch alternative
+// to Algorithm. The runner calls Next with the result of the machine's
+// previous operation — the value read for OpRead, nil for OpWrite, and nil
+// on the very first call (no operation precedes it) — and the machine
+// returns its next request. Returning ok == false halts the automaton
+// (the analogue of an Algorithm function returning); subsequent steps
+// granted to the process are no-ops.
+//
+// Next runs on the stepping goroutine with no other process active, exactly
+// like the local-computation window of a coroutine process between steps:
+// it may freely update state shared with the harness.
+type Machine interface {
+	Next(prev any) (op Op, ok bool)
+}
+
+// Registry provides register interning to Machine factories. It is the
+// register-naming subset of Env: calling Reg costs no steps, and handles are
+// shared across processes by name. The Runner's shared memory implements it.
+type Registry interface {
+	// Reg returns the shared register with the given name, creating it with
+	// initial value nil if needed.
+	Reg(name string) Ref
+}
+
+// MachineFunc adapts a plain function to the Machine interface.
+type MachineFunc func(prev any) (Op, bool)
+
+// Next calls f.
+func (f MachineFunc) Next(prev any) (Op, bool) { return f(prev) }
+
+// stepMachine executes one direct-dispatch step of pr: the pending request
+// is applied to shared memory with plain loads/stores, and the machine is
+// advanced in place to produce its next request (its local computation runs
+// now, inside Step, mirroring the coroutine park barrier).
+func (r *Runner) stepMachine(pr *proc, info *StepInfo) {
+	if pr.isHalted {
+		info.Kind = OpNoop
+		return
+	}
+	if !pr.started {
+		// First activation: the machine's initialization already ran in
+		// NewRunner (the factory); fetch its first request.
+		pr.started = true
+		r.advanceMachine(pr, nil)
+		if pr.isHalted {
+			info.Kind = OpNoop
+			return
+		}
+	}
+	op := pr.next
+	pr.stepCount++
+	reg := mustRegister(op.Reg)
+	switch op.Kind {
+	case OpRead:
+		v := reg.value
+		info.Kind, info.Reg, info.Value = OpRead, reg.name, v
+		r.advanceMachine(pr, v)
+	case OpWrite:
+		reg.value = op.Value
+		info.Kind, info.Reg, info.Value = OpWrite, reg.name, op.Value
+		r.advanceMachine(pr, nil)
+	default:
+		panic(badOpKind(op.Kind))
+	}
+}
+
+// advanceMachine asks pr's machine for its next request, halting the process
+// when the machine is done.
+func (r *Runner) advanceMachine(pr *proc, prev any) {
+	op, ok := pr.machine.Next(prev)
+	if !ok {
+		pr.isHalted = true
+		return
+	}
+	if op.Kind != OpRead && op.Kind != OpWrite {
+		panic(badOpKind(op.Kind))
+	}
+	if op.Reg == nil {
+		panic("sim: Machine returned an Op with nil Reg")
+	}
+	pr.next = op
+}

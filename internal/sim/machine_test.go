@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+)
+
+// traceOf runs cfg (plus a recording observer) over the schedule and returns
+// the StepInfo stream.
+func traceOf(t *testing.T, cfg Config, s sched.Schedule) []StepInfo {
+	t.Helper()
+	var trace []StepInfo
+	cfg.Observer = func(info StepInfo) { trace = append(trace, info) }
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(s)
+	return trace
+}
+
+func sameTrace(t *testing.T, label string, a, b []StepInfo) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: traces diverge at step %d: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestMachineMatchesCoroutine is the engine's core equivalence property: the
+// same automaton in coroutine and direct-dispatch form produces bit-identical
+// StepInfo streams on the same schedule.
+func TestMachineMatchesCoroutine(t *testing.T) {
+	t.Parallel()
+	src, err := sched.Random(3, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.Take(src, 500)
+	coro := traceOf(t, Config{N: 3, Algorithm: func(procset.ID) Algorithm { return counterAlgo }}, s)
+	mach := traceOf(t, Config{N: 3, Machine: counterMachine}, s)
+	sameTrace(t, "coroutine vs machine", coro, mach)
+}
+
+// haltingMachine writes its id once and halts.
+func haltingMachine(p procset.ID, regs Registry) Machine {
+	x := regs.Reg("x")
+	done := false
+	return MachineFunc(func(prev any) (Op, bool) {
+		if done {
+			return Op{}, false
+		}
+		done = true
+		return WriteOp(x, int(p)), true
+	})
+}
+
+func TestMachineHaltsToNoop(t *testing.T) {
+	t.Parallel()
+	r, err := NewRunner(Config{N: 1, Machine: haltingMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	info := r.Step(1)
+	if info.Kind != OpWrite || info.Value != 1 {
+		t.Fatalf("first step = %+v", info)
+	}
+	info = r.Step(1)
+	if info.Kind != OpNoop {
+		t.Fatalf("second step = %+v, want noop", info)
+	}
+	if !r.Halted(1) {
+		t.Error("Halted = false after machine finished")
+	}
+	if r.StepsTaken(1) != 1 {
+		t.Errorf("StepsTaken = %d, want 1 (noop steps do not count)", r.StepsTaken(1))
+	}
+}
+
+func TestMachineImmediateHaltIsNoop(t *testing.T) {
+	t.Parallel()
+	r, err := NewRunner(Config{N: 1, Machine: func(procset.ID, Registry) Machine {
+		return MachineFunc(func(any) (Op, bool) { return Op{}, false })
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if info := r.Step(1); info.Kind != OpNoop {
+		t.Fatalf("step of immediately-halting machine = %+v, want noop", info)
+	}
+	if r.StepsTaken(1) != 0 {
+		t.Errorf("StepsTaken = %d, want 0", r.StepsTaken(1))
+	}
+}
+
+// TestMachineFirstNextReceivesNil pins the Next contract: nil before any
+// operation, the read value after reads, nil after writes.
+func TestMachineFirstNextReceivesNil(t *testing.T) {
+	t.Parallel()
+	var got []any
+	r, err := NewRunner(Config{N: 1, Machine: func(_ procset.ID, regs Registry) Machine {
+		x := regs.Reg("x")
+		pc := 0
+		return MachineFunc(func(prev any) (Op, bool) {
+			got = append(got, prev)
+			switch pc {
+			case 0:
+				pc++
+				return WriteOp(x, "v"), true
+			case 1:
+				pc++
+				return ReadOp(x), true
+			default:
+				return Op{}, false
+			}
+		})
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(sched.Schedule{1, 1})
+	want := []any{nil, nil, "v"}
+	if len(got) != len(want) {
+		t.Fatalf("Next called %d times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Next call %d received %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResetDeterminism is the pooling contract: a Reset runner replays the
+// exact StepInfo stream of a fresh one, in both execution modes.
+func TestResetDeterminism(t *testing.T) {
+	t.Parallel()
+	src, err := sched.Random(3, 41, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.Take(src, 400)
+	for _, mode := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"machine", Config{N: 3, Machine: counterMachine}},
+		{"coroutine", Config{N: 3, Algorithm: func(procset.ID) Algorithm { return counterAlgo }}},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			fresh := traceOf(t, mode.cfg, s)
+
+			var trace []StepInfo
+			cfg := mode.cfg
+			cfg.Observer = func(info StepInfo) { trace = append(trace, info) }
+			r, err := NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			for round := 0; round < 3; round++ {
+				trace = trace[:0]
+				if err := r.Reset(); err != nil {
+					t.Fatal(err)
+				}
+				if r.Steps() != 0 {
+					t.Fatalf("round %d: Steps = %d after Reset", round, r.Steps())
+				}
+				r.RunSchedule(s)
+				reused := append([]StepInfo(nil), trace...)
+				sameTrace(t, "fresh vs reset", fresh, reused)
+			}
+		})
+	}
+}
+
+// TestResetRevivesHaltedProcesses covers reuse of runs whose automata
+// terminate (the explorer's one-shot protocols).
+func TestResetRevivesHaltedProcesses(t *testing.T) {
+	t.Parallel()
+	r, err := NewRunner(Config{N: 2, Machine: haltingMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for round := 0; round < 2; round++ {
+		if err := r.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []procset.ID{1, 2} {
+			if r.Halted(p) {
+				t.Fatalf("round %d: %v halted right after Reset", round, p)
+			}
+		}
+		r.RunSchedule(sched.Schedule{1, 2, 1, 2})
+		if got := r.mem.read(r.mem.reg("x")); got != 2 {
+			t.Fatalf("round %d: x = %v, want 2", round, got)
+		}
+		if !r.Halted(1) || !r.Halted(2) {
+			t.Fatalf("round %d: processes not halted after their writes", round)
+		}
+	}
+}
+
+// TestResetClearsRegisterValues pins the interning semantics: the register
+// set survives Reset, values do not.
+func TestResetClearsRegisterValues(t *testing.T) {
+	t.Parallel()
+	r, err := NewRunner(Config{N: 1, Machine: counterMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(sched.Schedule{1, 1, 1, 1})
+	if got := r.mem.read(r.mem.reg("counter")); got != 2 {
+		t.Fatalf("counter = %v before Reset, want 2", got)
+	}
+	regs := r.Registers()
+	if err := r.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.mem.read(r.mem.reg("counter")); got != nil {
+		t.Errorf("counter = %v after Reset, want nil", got)
+	}
+	if r.Registers() != regs {
+		t.Errorf("Registers = %d after Reset, want %d (interned set survives)", r.Registers(), regs)
+	}
+}
+
+func TestMachineRunnerStopPredicate(t *testing.T) {
+	t.Parallel()
+	r, err := NewRunner(Config{N: 1, Machine: counterMachine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	src, err := sched.RoundRobin(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run(src, 1000, 0, func() bool { return r.Steps() >= 7 })
+	if !res.Stopped || res.Steps != 7 {
+		t.Errorf("Run = %+v, want stopped at 7", res)
+	}
+}

@@ -4,22 +4,32 @@
 // each of its steps a process reads or writes one shared register and
 // updates its local state; local computation is free.
 //
-// Algorithms are written as ordinary Go functions against the Env interface.
-// Each process runs as a coroutine: every Read or Write blocks until the
-// runner grants a step according to the schedule, the runner performs the
-// memory operation centrally, and the process then computes locally until it
-// posts its next operation. The runner waits for that next posting (or for
-// process termination) before returning from Step, so at most one process
-// executes at any instant once stepping begins, runs are bit-for-bit
-// reproducible, and the harness may safely inspect any state the algorithm
-// shares with it between Step calls.
+// Processes come in two interchangeable forms:
 //
-// One caveat follows from the lazy start: algorithm code that runs before
-// the process's first Read or Write (its initialization) executes
-// concurrently with other processes' steps. Initialization may create
-// registers (Env.Reg is thread-safe) and build local state, but must not
-// touch state shared with the harness or with other processes; perform one
-// register operation first if such access is needed.
+//   - Algorithm: ordinary Go functions against the Env interface. Each
+//     process runs as a coroutine: every Read or Write blocks until the
+//     runner grants a step according to the schedule, the runner performs
+//     the memory operation centrally, and the process then computes locally
+//     until it posts its next operation. The runner waits for that next
+//     posting (or for process termination) before returning from Step.
+//
+//   - Machine: an explicit automaton (see machine.go) that, given the
+//     result of its previous operation, returns its next request. The
+//     runner executes machines by direct dispatch — plain function calls,
+//     no goroutine, no channel — which is an order of magnitude faster per
+//     step and is the path the campaign engine uses for hot algorithms.
+//
+// In both modes at most one process executes at any instant once stepping
+// begins, runs are bit-for-bit reproducible, and the harness may safely
+// inspect any state the algorithm shares with it between Step calls.
+//
+// One caveat follows from the coroutines' lazy start: algorithm code that
+// runs before the process's first Read or Write (its initialization)
+// executes concurrently with other processes' steps. Initialization may
+// create registers (Env.Reg is thread-safe) and build local state, but must
+// not touch state shared with the harness or with other processes; perform
+// one register operation first if such access is needed. Machine factories
+// have no such caveat: they run sequentially on the constructing goroutine.
 //
 // Crashes are represented exactly as in the paper: a schedule simply stops
 // containing the process. Scheduling a process whose function has returned
@@ -34,16 +44,17 @@ import (
 	"github.com/settimeliness/settimeliness/internal/sched"
 )
 
-// Ref is an opaque handle to a shared register. Obtain handles with Env.Reg;
-// handles are shared across processes by name.
+// Ref is an opaque handle to a shared register. Obtain handles with Env.Reg
+// or Registry.Reg; handles are shared across processes by name.
 type Ref interface {
 	// Name returns the register's name.
 	Name() string
 }
 
-// Env is the programming interface algorithms run against. Reg does not cost
-// a step (naming registers is part of the automaton's structure); Read and
-// Write cost exactly one step each and block until the schedule grants it.
+// Env is the programming interface coroutine algorithms run against. Reg
+// does not cost a step (naming registers is part of the automaton's
+// structure); Read and Write cost exactly one step each and block until the
+// schedule grants it.
 //
 // Both the deterministic runtime in this package and the real-time runtime
 // in internal/live implement Env, so algorithm code runs unmodified on both.
@@ -91,6 +102,10 @@ func (k OpKind) String() string {
 	}
 }
 
+func badOpKind(k OpKind) string {
+	return fmt.Sprintf("sim: unknown op kind %v", k)
+}
+
 // StepInfo describes one executed step, delivered to observers.
 type StepInfo struct {
 	// Index is the 0-based position of the step in the run's schedule.
@@ -111,6 +126,9 @@ type opRequest struct {
 	value any // value to write for OpWrite
 }
 
+// register is one interned shared register. Its value is touched only by
+// the stepping goroutine (processes go through the runner for every memory
+// operation), so value access is lock-free.
 type register struct {
 	name  string
 	value any
@@ -118,63 +136,90 @@ type register struct {
 
 func (r *register) Name() string { return r.name }
 
-// memory is the shared register namespace. The registry map is guarded by a
-// mutex because processes may create registers concurrently during their
-// initialization phase (before their first step); register values are only
-// touched by the runner goroutine under the same lock.
+// memory is the shared register namespace. Registers are interned: each
+// name maps to one slot for the lifetime of the runner, including across
+// Reset (values revert to nil; a nil-valued register is indistinguishable
+// from an absent one, since reads of unwritten registers return nil).
+//
+// The mutex guards interning only — coroutine processes may create
+// registers concurrently during their initialization phase (before their
+// first step). The stepping path never takes it: register values are plain
+// fields accessed only by the stepping goroutine, and the register pointers
+// it dereferences arrive over the processes' request channels (coroutine
+// mode) or were created sequentially at construction (machine mode), so the
+// necessary happens-before edges exist without a lock.
 type memory struct {
-	mu   sync.Mutex
-	regs map[string]*register
+	mu     sync.Mutex
+	byName map[string]*register
+	slots  []*register
 }
 
-func newMemory() *memory { return &memory{regs: make(map[string]*register)} }
+func newMemory() *memory { return &memory{byName: make(map[string]*register)} }
+
+// Reg implements Registry for machine factories.
+func (m *memory) Reg(name string) Ref { return m.reg(name) }
 
 func (m *memory) reg(name string) *register {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r, ok := m.regs[name]
+	r, ok := m.byName[name]
 	if !ok {
 		r = &register{name: name}
-		m.regs[name] = r
+		m.byName[name] = r
+		m.slots = append(m.slots, r)
 	}
 	return r
 }
 
-func (m *memory) read(r *register) any {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return r.value
-}
+// read returns the register's current value. Stepping-goroutine only.
+func (m *memory) read(r *register) any { return r.value }
 
-func (m *memory) write(r *register, v any) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	r.value = v
-}
+// write stores v in the register. Stepping-goroutine only.
+func (m *memory) write(r *register, v any) { r.value = v }
 
-// snapshotNames returns the sorted names of all registers (diagnostics).
+// size returns the number of interned registers (diagnostics).
 func (m *memory) size() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.regs)
+	return len(m.slots)
+}
+
+// resetValues reverts every interned register to the unwritten state. It
+// must only run while no process goroutine is live (Reset guarantees this),
+// but takes the lock anyway — it is far from the stepping path.
+func (m *memory) resetValues() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.slots {
+		r.value = nil
+	}
 }
 
 var errKilled = fmt.Errorf("sim: runner closed")
 
+// proc is the runner-side state of one process. The coroutine fields are
+// used when the runner was built with Config.Algorithm, the machine fields
+// with Config.Machine.
 type proc struct {
-	id     procset.ID
+	id        procset.ID
+	isHalted  bool
+	stepCount int
+
+	// Coroutine mode.
 	req    chan opRequest
 	resp   chan any
 	halted chan struct{} // closed when the algorithm function returns
 	// pending holds a request already received from the process but not yet
 	// executed; it is owned by the runner goroutine.
-	pending   *opRequest
-	isHalted  bool
-	everRan   bool
-	stepCount int
+	pending *opRequest
+
+	// Machine (direct-dispatch) mode.
+	machine Machine
+	next    Op   // the machine's pending request (valid when started && !isHalted)
+	started bool // whether the machine's first request has been fetched
 }
 
-// procEnv implements Env for one process.
+// procEnv implements Env for one coroutine process.
 type procEnv struct {
 	runner *Runner
 	proc   *proc
@@ -223,76 +268,110 @@ type Runner struct {
 	kill  chan struct{}
 	wg    sync.WaitGroup
 
+	// Factories retained for Reset.
+	algorithm func(procset.ID) Algorithm
+	machine   func(procset.ID, Registry) Machine
+
 	observer func(StepInfo)
 	steps    int
 	closed   bool
 }
 
-// Config configures a Runner.
+// Config configures a Runner. Exactly one of Algorithm and Machine must be
+// set; they select the coroutine and the direct-dispatch execution mode
+// respectively.
 type Config struct {
 	// N is the system size (1..procset.MaxProcs).
 	N int
-	// Algorithm returns the code for each process. It is called once per
-	// process id at construction.
+	// Algorithm returns the coroutine code for each process. It is called
+	// once per process id at construction (and again on Reset).
 	Algorithm func(p procset.ID) Algorithm
+	// Machine returns the direct-dispatch automaton for each process. The
+	// factory is called once per process id at construction (and again on
+	// Reset), sequentially on the constructing goroutine; regs interns the
+	// machine's registers.
+	Machine func(p procset.ID, regs Registry) Machine
 	// Observer, if non-nil, is invoked synchronously after every executed
 	// step, including no-op steps of halted processes.
 	Observer func(StepInfo)
 }
 
-// NewRunner starts the per-process coroutines and returns a runner ready for
-// stepping. Callers must call Close to release the coroutines.
+// NewRunner builds a runner ready for stepping. In coroutine mode it starts
+// the per-process goroutines; in machine mode it invokes the machine
+// factories sequentially. Callers must call Close to release any
+// coroutines.
 func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.N < 1 || cfg.N > procset.MaxProcs {
 		return nil, fmt.Errorf("sim: n = %d out of range [1,%d]", cfg.N, procset.MaxProcs)
 	}
-	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("sim: Config.Algorithm is required")
+	if (cfg.Algorithm == nil) == (cfg.Machine == nil) {
+		return nil, fmt.Errorf("sim: exactly one of Config.Algorithm and Config.Machine is required")
 	}
 	r := &Runner{
-		n:        cfg.N,
-		mem:      newMemory(),
-		procs:    make([]*proc, cfg.N),
-		kill:     make(chan struct{}),
-		observer: cfg.Observer,
+		n:         cfg.N,
+		mem:       newMemory(),
+		procs:     make([]*proc, cfg.N),
+		kill:      make(chan struct{}),
+		algorithm: cfg.Algorithm,
+		machine:   cfg.Machine,
+		observer:  cfg.Observer,
 	}
 	for i := 0; i < cfg.N; i++ {
-		p := &proc{
-			id:     procset.ID(i + 1),
-			req:    make(chan opRequest),
-			resp:   make(chan any),
-			halted: make(chan struct{}),
-		}
+		p := &proc{id: procset.ID(i + 1)}
 		r.procs[i] = p
-		algo := cfg.Algorithm(p.id)
-		if algo == nil {
+		if err := r.start(p); err != nil {
 			close(r.kill)
-			return nil, fmt.Errorf("sim: Config.Algorithm returned nil for %v", p.id)
+			r.wg.Wait()
+			return nil, err
 		}
-		env := &procEnv{runner: r, proc: p}
-		r.wg.Add(1)
-		go func() {
-			defer r.wg.Done()
-			defer close(p.halted)
-			defer func() {
-				// Unwind cleanly when the runner shuts the simulation down.
-				if rec := recover(); rec != nil && rec != errKilled {
-					panic(rec)
-				}
-			}()
-			algo(env)
-		}()
 	}
 	return r, nil
+}
+
+// start (re)initializes one process from its factory: machine mode builds
+// the automaton in place; coroutine mode spawns the process goroutine.
+func (r *Runner) start(p *proc) error {
+	if r.machine != nil {
+		m := r.machine(p.id, r.mem)
+		if m == nil {
+			return fmt.Errorf("sim: Config.Machine returned nil for %v", p.id)
+		}
+		p.machine = m
+		return nil
+	}
+	algo := r.algorithm(p.id)
+	if algo == nil {
+		return fmt.Errorf("sim: Config.Algorithm returned nil for %v", p.id)
+	}
+	p.req = make(chan opRequest)
+	p.resp = make(chan any)
+	p.halted = make(chan struct{})
+	env := &procEnv{runner: r, proc: p}
+	halted := p.halted
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(halted)
+		defer func() {
+			// Unwind cleanly when the runner shuts the simulation down.
+			if rec := recover(); rec != nil && rec != errKilled {
+				panic(rec)
+			}
+		}()
+		algo(env)
+	}()
+	return nil
 }
 
 // Steps returns the number of steps executed so far.
 func (r *Runner) Steps() int { return r.steps }
 
-// Registers returns the number of shared registers created so far.
+// Registers returns the number of shared registers interned so far. Interned
+// registers survive Reset (with values reverted to nil), so on a reused
+// runner this may exceed the count a fresh run would have created.
 func (r *Runner) Registers() int { return r.mem.size() }
 
-// Halted reports whether the process's algorithm function has returned.
+// Halted reports whether the process's automaton has halted.
 func (r *Runner) Halted(p procset.ID) bool {
 	return r.procAt(p).isHalted
 }
@@ -308,9 +387,10 @@ func (r *Runner) procAt(p procset.ID) *proc {
 }
 
 // Step executes one step of process p: the process's pending memory
-// operation is performed, and the runner waits until the process posts its
-// next operation or halts. When the process has already halted, the step is
-// a no-op. Step must not be called after Close.
+// operation is performed, and the process then computes locally until it
+// produces its next operation or halts (for coroutines the runner waits for
+// the posting; for machines this is one Next call). When the process has
+// already halted, the step is a no-op. Step must not be called after Close.
 func (r *Runner) Step(p procset.ID) StepInfo {
 	if r.closed {
 		panic("sim: Step after Close")
@@ -318,10 +398,21 @@ func (r *Runner) Step(p procset.ID) StepInfo {
 	pr := r.procAt(p)
 	info := StepInfo{Index: r.steps, Proc: p}
 	r.steps++
+	if r.machine != nil {
+		r.stepMachine(pr, &info)
+	} else {
+		r.stepCoroutine(pr, &info)
+	}
+	r.observe(&info)
+	return info
+}
+
+// stepCoroutine executes one step of a coroutine process over its request/
+// response channels.
+func (r *Runner) stepCoroutine(pr *proc, info *StepInfo) {
 	if !r.fetchPending(pr) {
 		info.Kind = OpNoop
-		r.observe(info)
-		return info
+		return
 	}
 	req := *pr.pending
 	pr.pending = nil
@@ -336,15 +427,13 @@ func (r *Runner) Step(p procset.ID) StepInfo {
 		info.Kind, info.Reg, info.Value = OpWrite, req.reg.name, req.value
 		pr.resp <- nil
 	default:
-		panic(fmt.Sprintf("sim: unknown op kind %v", req.kind))
+		panic(badOpKind(req.kind))
 	}
 	// Park barrier: wait until the process has finished the local
 	// computation that follows the operation, i.e. until it posts its next
 	// operation or its function returns. This keeps execution serial and
 	// lets the harness inspect shared state safely between steps.
 	r.fetchPending(pr)
-	r.observe(info)
-	return info
 }
 
 // fetchPending ensures pr.pending holds the process's next request, blocking
@@ -370,10 +459,49 @@ func (r *Runner) fetchPending(pr *proc) bool {
 	}
 }
 
-func (r *Runner) observe(info StepInfo) {
+func (r *Runner) observe(info *StepInfo) {
 	if r.observer != nil {
-		r.observer(info)
+		r.observer(*info)
 	}
+}
+
+// Reset returns the runner to its initial state so it can be reused for
+// another run without paying construction costs again: step counters
+// revert to zero, every register value reverts to nil (the interned
+// register set survives — an unwritten register reads as nil either way),
+// and every process restarts from its factory. In machine mode this is a
+// handful of stores plus the factory calls; in coroutine mode the old
+// process goroutines are killed and fresh ones spawned.
+//
+// A reset runner produces bit-identical StepInfo streams to a freshly
+// constructed one with the same Config — the property the campaign engine's
+// runner pool relies on. Reset must not be called after Close, and, like
+// Step, must not race with it.
+func (r *Runner) Reset() error {
+	if r.closed {
+		panic("sim: Reset after Close")
+	}
+	if r.machine == nil {
+		// Kill the current coroutine generation and wait it out; the new
+		// generation gets a fresh kill channel.
+		close(r.kill)
+		r.wg.Wait()
+		r.kill = make(chan struct{})
+	}
+	r.mem.resetValues()
+	r.steps = 0
+	for _, p := range r.procs {
+		p.isHalted = false
+		p.stepCount = 0
+		p.pending = nil
+		p.machine = nil
+		p.next = Op{}
+		p.started = false
+		if err := r.start(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunResult summarizes a Run invocation.

@@ -18,6 +18,22 @@ func counterAlgo(env Env) {
 	}
 }
 
+// counterMachine is counterAlgo in direct-dispatch form: the same automaton
+// with its program counter made explicit.
+func counterMachine(_ procset.ID, regs Registry) Machine {
+	c := regs.Reg("counter")
+	reading := true
+	return MachineFunc(func(prev any) (Op, bool) {
+		if reading {
+			reading = false
+			return ReadOp(c), true
+		}
+		reading = true
+		v, _ := prev.(int)
+		return WriteOp(c, v+1), true
+	})
+}
+
 func newTestRunner(t *testing.T, n int, algo func(p procset.ID) Algorithm) *Runner {
 	t.Helper()
 	r, err := NewRunner(Config{N: n, Algorithm: algo})
@@ -228,10 +244,20 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("n = 65 accepted")
 	}
 	if _, err := NewRunner(Config{N: 2}); err == nil {
-		t.Error("nil Algorithm accepted")
+		t.Error("neither Algorithm nor Machine rejected")
+	}
+	if _, err := NewRunner(Config{
+		N:         2,
+		Algorithm: func(procset.ID) Algorithm { return counterAlgo },
+		Machine:   counterMachine,
+	}); err == nil {
+		t.Error("both Algorithm and Machine accepted")
 	}
 	if _, err := NewRunner(Config{N: 2, Algorithm: func(procset.ID) Algorithm { return nil }}); err == nil {
 		t.Error("nil per-process algorithm accepted")
+	}
+	if _, err := NewRunner(Config{N: 2, Machine: func(procset.ID, Registry) Machine { return nil }}); err == nil {
+		t.Error("nil per-process machine accepted")
 	}
 }
 
@@ -277,14 +303,75 @@ func TestStepPanicsOutOfRange(t *testing.T) {
 	r.Step(5)
 }
 
-func BenchmarkStepThroughput(b *testing.B) {
-	r, err := NewRunner(Config{N: 4, Algorithm: func(procset.ID) Algorithm { return counterAlgo }})
-	if err != nil {
-		b.Fatal(err)
+// BenchmarkStep is the engine's headline number: steps/sec of the coroutine
+// path (two channel handoffs per step) versus the direct-dispatch Machine
+// path (plain function calls), on the same 4-process counter automaton.
+func BenchmarkStep(b *testing.B) {
+	b.Run("coroutine", func(b *testing.B) {
+		r, err := NewRunner(Config{N: 4, Algorithm: func(procset.ID) Algorithm { return counterAlgo }})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Step(procset.ID(i%4 + 1))
+		}
+	})
+	b.Run("machine", func(b *testing.B) {
+		r, err := NewRunner(Config{N: 4, Machine: counterMachine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Step(procset.ID(i%4 + 1))
+		}
+	})
+}
+
+// BenchmarkRunnerReuse compares constructing a fresh runner per run against
+// Reset-reusing one, in both execution modes (the campaign pool's win).
+func BenchmarkRunnerReuse(b *testing.B) {
+	const stepsPerRun = 64
+	run := func(r *Runner) {
+		for i := 0; i < stepsPerRun; i++ {
+			r.Step(procset.ID(i%4 + 1))
+		}
 	}
-	defer r.Close()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Step(procset.ID(i%4 + 1))
-	}
+	b.Run("fresh/coroutine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := NewRunner(Config{N: 4, Algorithm: func(procset.ID) Algorithm { return counterAlgo }})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(r)
+			r.Close()
+		}
+	})
+	b.Run("fresh/machine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := NewRunner(Config{N: 4, Machine: counterMachine})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(r)
+			r.Close()
+		}
+	})
+	b.Run("reset/machine", func(b *testing.B) {
+		r, err := NewRunner(Config{N: 4, Machine: counterMachine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.Reset(); err != nil {
+				b.Fatal(err)
+			}
+			run(r)
+		}
+	})
 }

@@ -252,7 +252,10 @@ func RunDetector(cfg DetectorConfig) (DetectorResult, error) {
 	if err != nil {
 		return out, err
 	}
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: det.Algorithm})
+	// The direct-dispatch machine path: equivalent to the coroutine form
+	// (pinned by the antiomega machine tests) and an order of magnitude
+	// faster per step.
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: det.Machine})
 	if err != nil {
 		return out, err
 	}
