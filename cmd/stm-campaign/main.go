@@ -61,7 +61,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stm-campaign matrix    -t T -k K -n N [-posbudget B] [-negbudget B]   empirical Theorem 27 matrices
-  stm-campaign fuzz      -target commitadopt|consensus|cachain -schedules S  schedule fuzzing
+  stm-campaign fuzz      -target commitadopt|consensus|cachain|kset|bg -schedules S  schedule fuzzing
   stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
   stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
@@ -250,7 +250,7 @@ func cmdFuzz(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
 	var c common
 	c.register(fs)
-	target := fs.String("target", explore.TargetCommitAdopt, "protocol to fuzz (commitadopt|consensus|cachain)")
+	target := fs.String("target", explore.TargetCommitAdopt, "protocol to fuzz (commitadopt|consensus|cachain|kset|bg)")
 	n := fs.Int("n", 4, "number of processes")
 	steps := fs.Int("steps", 300, "steps per schedule")
 	schedules := fs.Int("schedules", 1000, "number of schedules")

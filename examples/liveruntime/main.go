@@ -64,10 +64,3 @@ func main() {
 	best := sched.BestPair(s[:min(len(s), 20000)], n, 2, 3)
 	fmt.Printf("best (i=2, j=3) pair in the wild schedule: P=%v Q=%v bound=%d\n", best.P, best.Q, best.MinBound)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -72,9 +72,36 @@ func (m *MachineInstance) Next(prev any) (sim.Op, bool) {
 	if !m.primed {
 		// First activation: issue the first counter read of iteration one.
 		m.primed = true
-		m.phase, m.ai, m.q = phaseCounters, 0, 1
-		return sim.ReadOp(m.counterRefs[0][1]), true
+		return m.BeginIteration(), true
 	}
+	op, done := m.FeedIteration(prev)
+	if !done {
+		return op, true
+	}
+	if m.onIterate != nil {
+		m.onIterate(m)
+	}
+	return m.BeginIteration(), true
+}
+
+// BeginIteration starts one Figure 2 iteration as a composable sub-automaton
+// and returns its first operation (the first counter read). Together with
+// FeedIteration it is the machine-form counterpart of Instance.Iterate:
+// composite automata (the kset agreement machine) interleave iterations with
+// their own operations exactly as coroutine code interleaves Iterate calls
+// with other sub-protocols of the same process.
+func (m *MachineInstance) BeginIteration() sim.Op {
+	m.phase, m.ai, m.q = phaseCounters, 0, 1
+	return sim.ReadOp(m.counterRefs[0][1])
+}
+
+// FeedIteration consumes the result of the iteration operation in flight and
+// returns the iteration's next operation, or done == true when the iteration
+// has completed — prev was the result of its final operation and the closing
+// local computation (including the iteration counter) has run. Callers then
+// issue their own operations or call BeginIteration again; the per-iteration
+// operation stream is op-for-op that of Instance.Iterate either way.
+func (m *MachineInstance) FeedIteration(prev any) (op sim.Op, done bool) {
 	n := m.cfg.N
 	switch m.phase {
 	case phaseCounters:
@@ -90,42 +117,37 @@ func (m *MachineInstance) Next(prev any) (sim.Op, bool) {
 			m.chooseWinner()
 			m.myHb++
 			m.phase = phaseHeartbeatWrite
-			return sim.WriteOp(m.hbRefs[m.self], m.myHb), true
+			return sim.WriteOp(m.hbRefs[m.self], m.myHb), false
 		}
-		return sim.ReadOp(m.counterRefs[m.ai][m.q]), true
+		return sim.ReadOp(m.counterRefs[m.ai][m.q]), false
 	case phaseHeartbeatWrite:
 		m.phase, m.q = phaseHeartbeats, 1
-		return sim.ReadOp(m.hbRefs[1]), true
+		return sim.ReadOp(m.hbRefs[1]), false
 	case phaseHeartbeats:
 		m.noteHeartbeat(m.q, asInt(prev))
 		if m.q < n {
 			m.q++
-			return sim.ReadOp(m.hbRefs[m.q]), true
+			return sim.ReadOp(m.hbRefs[m.q]), false
 		}
 		m.phase, m.ai = phaseExpiry, -1
-		return m.advanceExpiry(), true
+		return m.nextExpiry()
 	case phaseExpiry:
-		return m.advanceExpiry(), true
+		return m.nextExpiry()
 	default:
 		panic(fmt.Sprintf("antiomega: invalid machine phase %d", m.phase))
 	}
 }
 
-// advanceExpiry scans lines 14–19 from the set after the one whose
-// accusation write just landed, returning the next expiry write — or, when
-// every timer has been ticked, closing the iteration and returning the
-// first counter read of the next one.
-func (m *MachineInstance) advanceExpiry() sim.Op {
+// nextExpiry scans lines 14–19 from the set after the one whose accusation
+// write just landed, returning the next expiry write — or, when every timer
+// has been ticked, closing the iteration.
+func (m *MachineInstance) nextExpiry() (sim.Op, bool) {
 	for ai := m.ai + 1; ai < len(m.subsets); ai++ {
 		if m.tickTimer(ai) {
 			m.ai = ai
-			return sim.WriteOp(m.counterRefs[ai][m.self], m.cnt[ai][m.self]+1)
+			return sim.WriteOp(m.counterRefs[ai][m.self], m.cnt[ai][m.self]+1), false
 		}
 	}
 	m.iterations++
-	if m.onIterate != nil {
-		m.onIterate(m)
-	}
-	m.phase, m.ai, m.q = phaseCounters, 0, 1
-	return sim.ReadOp(m.counterRefs[0][1])
+	return sim.Op{}, true
 }

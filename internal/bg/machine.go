@@ -1,0 +1,356 @@
+// Direct-dispatch form of the BG simulation: the safe agreement object and
+// the simulator loop of simulation.go with their program counters made
+// explicit, for sim.Runner's machine mode. The simulator machine composes
+// the snapshot sub-automata (snapshot.ScanMachine / UpdateMachine) and the
+// safe agreement sub-automata below through the exact operation interleaving
+// of Simulation.Algorithm, so both execution modes replay bit-identical
+// StepInfo streams and harness state (pinned by machine_test.go). This is
+// the hot path of the Theorem 26 reduction experiment.
+
+package bg
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+	"github.com/settimeliness/settimeliness/internal/snapshot"
+)
+
+// SafeAgreementMachine is the machine-form handle on a named safe agreement
+// object: the counterpart of SafeAgreement, with Propose and Resolve exposed
+// as one-shot sub-automata.
+type SafeAgreementMachine struct {
+	snap     *snapshot.MachineObject
+	n        int
+	proposed bool
+}
+
+// NewSafeAgreementMachine creates the handle. It performs no steps and
+// interns the same registers as NewSafeAgreement.
+func NewSafeAgreementMachine(regs sim.Registry, name string, self procset.ID, n int) *SafeAgreementMachine {
+	return &SafeAgreementMachine{snap: snapshot.NewMachineObject(regs, "sa."+name, self, n), n: n}
+}
+
+// Proposed reports whether this process already entered the doorway.
+func (sa *SafeAgreementMachine) Proposed() bool { return sa.proposed }
+
+// saProposePhase locates a propose call's pending operation.
+type saProposePhase int
+
+const (
+	sapEnter   saProposePhase = iota // the unsafe-level publish is running
+	sapScan                          // the doorway scan is running
+	sapPublish                       // the level-fixing publish is running
+)
+
+// SAProposeMachine is one Propose call as a sub-automaton: publish at the
+// unsafe level, scan, then fix the proposal or back off.
+type SAProposeMachine struct {
+	sa    *SafeAgreementMachine
+	v     any
+	phase saProposePhase
+	upd   *snapshot.UpdateMachine
+	scan  *snapshot.ScanMachine
+}
+
+// NewPropose begins a Propose(v) call. Start issues the first operation;
+// hasOp == false means the call completed without steps (the process had
+// already proposed, matching SafeAgreement.Propose's early return).
+func (sa *SafeAgreementMachine) NewPropose(v any) *SAProposeMachine {
+	return &SAProposeMachine{sa: sa, v: v}
+}
+
+// Start issues the call's first operation.
+func (p *SAProposeMachine) Start() (op sim.Op, hasOp bool) {
+	if p.sa.proposed {
+		return sim.Op{}, false
+	}
+	p.sa.proposed = true
+	p.upd = p.sa.snap.NewUpdate(saEntry{Level: saUnsafe, Val: p.v})
+	return p.upd.Start(), true
+}
+
+// Feed consumes the result of the operation in flight and issues the next
+// one; hasOp == false completes the call.
+func (p *SAProposeMachine) Feed(prev any) (op sim.Op, hasOp bool) {
+	switch p.phase {
+	case sapEnter:
+		if op, hasOp := p.upd.Feed(prev); hasOp {
+			return op, true
+		}
+		p.phase = sapScan
+		p.scan = p.sa.snap.NewScan()
+		return p.scan.Start(), true
+	case sapScan:
+		if op, hasOp := p.scan.Feed(prev); hasOp {
+			return op, true
+		}
+		view := p.scan.Result()
+		level := saSafe
+		for q := 1; q <= p.sa.n; q++ {
+			if e, ok := view.Get(procset.ID(q)).(saEntry); ok && e.Level == saSafe {
+				level = saBackedOff
+				break
+			}
+		}
+		p.phase = sapPublish
+		p.upd = p.sa.snap.NewUpdate(saEntry{Level: level, Val: p.v})
+		return p.upd.Start(), true
+	case sapPublish:
+		return p.upd.Feed(prev)
+	default:
+		panic(fmt.Sprintf("bg: invalid propose phase %d", p.phase))
+	}
+}
+
+// SAResolveMachine is one Resolve call as a sub-automaton: a scan plus the
+// local resolution.
+type SAResolveMachine struct {
+	sa   *SafeAgreementMachine
+	scan *snapshot.ScanMachine
+	val  any
+	ok   bool
+}
+
+// NewResolve begins a Resolve call.
+func (sa *SafeAgreementMachine) NewResolve() *SAResolveMachine {
+	return &SAResolveMachine{sa: sa, scan: sa.snap.NewScan()}
+}
+
+// Start issues the call's first operation.
+func (r *SAResolveMachine) Start() sim.Op { return r.scan.Start() }
+
+// Feed consumes the result of the operation in flight and issues the next
+// one; hasOp == false completes the call (see Result).
+func (r *SAResolveMachine) Feed(prev any) (op sim.Op, hasOp bool) {
+	if op, hasOp := r.scan.Feed(prev); hasOp {
+		return op, true
+	}
+	view := r.scan.Result()
+	choice := 0
+	for q := 1; q <= r.sa.n; q++ {
+		e, ok := view.Get(procset.ID(q)).(saEntry)
+		if !ok {
+			continue
+		}
+		switch e.Level {
+		case saUnsafe:
+			return sim.Op{}, false
+		case saSafe:
+			if choice == 0 {
+				choice = q
+			}
+		}
+	}
+	if choice != 0 {
+		r.val, r.ok = view.Get(procset.ID(choice)).(saEntry).Val, true
+	}
+	return sim.Op{}, false
+}
+
+// Result returns the agreed value, if the object resolved.
+func (r *SAResolveMachine) Result() (any, bool) { return r.val, r.ok }
+
+// subKind says which sub-automaton of the simulator loop owns the operation
+// in flight.
+type subKind int
+
+const (
+	subPublish subKind = iota + 1 // mem.Update of the merged knowledge
+	subAbsorb                     // mem.Scan before proposing
+	subPropose                    // the safe agreement doorway
+	subResolve                    // the safe agreement resolution
+)
+
+// simMachine is the machine form of one simulator: the round-robin pass over
+// the simulated threads of Simulation.Algorithm with its program counter
+// made explicit.
+type simMachine struct {
+	s    *Simulation
+	self procset.ID
+	regs sim.Registry
+	n    int // simulated threads
+	mem  *snapshot.MachineObject
+	sas  map[ThreadStep]*SafeAgreementMachine
+
+	know   View
+	states []any
+	round  []int
+	phase  []threadPhase
+
+	i       int  // thread under consideration in the current pass
+	allDone bool // running conjunction over the current pass
+	started bool
+	sub     subKind
+	upd     *snapshot.UpdateMachine
+	scan    *snapshot.ScanMachine
+	prop    *SAProposeMachine
+	resv    *SAResolveMachine
+}
+
+// Machine returns the direct-dispatch code of simulator p, the machine-mode
+// analogue of Algorithm: the returned factory value suits sim.Config.Machine
+// for a runner of size m.
+func (s *Simulation) Machine(p procset.ID, regs sim.Registry) sim.Machine {
+	n := s.proto.Threads()
+	m := &simMachine{
+		s:       s,
+		self:    p,
+		regs:    regs,
+		n:       n,
+		mem:     snapshot.NewMachineObject(regs, "bg.mem", p, s.m),
+		sas:     make(map[ThreadStep]*SafeAgreementMachine),
+		know:    make(View, n+1),
+		states:  make([]any, n+1),
+		round:   make([]int, n+1),
+		phase:   make([]threadPhase, n+1),
+		i:       1,
+		allDone: true,
+	}
+	for i := 1; i <= n; i++ {
+		m.states[i] = s.proto.Init(i)
+		m.round[i] = 1
+	}
+	return m
+}
+
+func (m *simMachine) saFor(i, r int) *SafeAgreementMachine {
+	key := ThreadStep{Thread: i, Round: r}
+	sa, ok := m.sas[key]
+	if !ok {
+		sa = NewSafeAgreementMachine(m.regs, fmt.Sprintf("bg[%d,%d]", i, r), m.self, m.s.m)
+		m.sas[key] = sa
+	}
+	return sa
+}
+
+// absorb merges the freshest knowledge per thread from a scanned snapshot of
+// all simulators' published views (the machine twin of Algorithm's absorb).
+func (m *simMachine) absorb(v snapshot.View) {
+	for q := 1; q <= m.s.m; q++ {
+		other, ok := v.Get(procset.ID(q)).(View)
+		if !ok {
+			continue
+		}
+		for i := 1; i <= m.n; i++ {
+			if other[i].Round > m.know[i].Round {
+				m.know[i] = other[i]
+			}
+		}
+	}
+}
+
+// Next implements sim.Machine: feed the operation result to the sub-automaton
+// in flight, then advance the thread pass until the next operation — or halt
+// when a full pass finds every thread decided.
+func (m *simMachine) Next(prev any) (sim.Op, bool) {
+	if !m.started {
+		m.started = true
+		return m.pump()
+	}
+	switch m.sub {
+	case subPublish:
+		if op, hasOp := m.upd.Feed(prev); hasOp {
+			return op, true
+		}
+		m.sub = subAbsorb
+		m.scan = m.mem.NewScan()
+		return m.scan.Start(), true
+	case subAbsorb:
+		if op, hasOp := m.scan.Feed(prev); hasOp {
+			return op, true
+		}
+		m.absorb(m.scan.Result())
+		merged := make(View, len(m.know))
+		copy(merged, m.know)
+		m.prop = m.saFor(m.i, m.round[m.i]).NewPropose(merged)
+		if op, hasOp := m.prop.Start(); hasOp {
+			m.sub = subPropose
+			return op, true
+		}
+		m.phase[m.i] = phaseResolve
+		return m.startResolve()
+	case subPropose:
+		if op, hasOp := m.prop.Feed(prev); hasOp {
+			return op, true
+		}
+		m.phase[m.i] = phaseResolve
+		return m.startResolve()
+	case subResolve:
+		if op, hasOp := m.resv.Feed(prev); hasOp {
+			return op, true
+		}
+		if agreed, ok := m.resv.Result(); ok {
+			m.resolveThread(agreed.(View))
+		}
+		// Blocked or resolved either way, the pass moves to the next thread.
+		m.i++
+		return m.pump()
+	default:
+		panic(fmt.Sprintf("bg: invalid simulator sub-automaton %d", m.sub))
+	}
+}
+
+// resolveThread runs the post-agreement local computation for thread m.i:
+// fold the agreed view into local knowledge, advance the protocol, record
+// the resolution.
+func (m *simMachine) resolveThread(view View) {
+	i := m.i
+	for j := 1; j <= m.n; j++ {
+		if view[j].Round > m.know[j].Round {
+			m.know[j] = view[j]
+		}
+	}
+	st, decided, decision := m.s.proto.OnView(i, m.round[i], m.states[i], view)
+	m.states[i] = st
+	m.s.recordResolution(i, m.round[i], decided, decision, m.self)
+	if decided {
+		m.phase[i] = phaseDone
+		return
+	}
+	m.round[i]++
+	m.phase[i] = phaseWrite
+}
+
+// startResolve begins the safe agreement resolution for thread m.i.
+func (m *simMachine) startResolve() (sim.Op, bool) {
+	m.resv = m.saFor(m.i, m.round[m.i]).NewResolve()
+	m.sub = subResolve
+	return m.resv.Start(), true
+}
+
+// pump advances the thread pass over purely local work until a sub-automaton
+// issues an operation, or halts the machine when a full pass finds every
+// thread decided.
+func (m *simMachine) pump() (sim.Op, bool) {
+	for {
+		if m.i > m.n {
+			if m.allDone {
+				return sim.Op{}, false
+			}
+			m.i, m.allDone = 1, true
+		}
+		i := m.i
+		switch m.phase[i] {
+		case phaseDone:
+			m.i++
+		case phaseWrite:
+			m.allDone = false
+			wv := m.s.proto.WriteValue(i, m.round[i], m.states[i])
+			if m.know[i].Round < m.round[i] {
+				m.know[i] = Entry{Round: m.round[i], Val: wv}
+			}
+			cp := make(View, len(m.know))
+			copy(cp, m.know)
+			m.upd = m.mem.NewUpdate(cp)
+			m.sub = subPublish
+			return m.upd.Start(), true
+		case phaseResolve:
+			m.allDone = false
+			return m.startResolve()
+		default:
+			panic(fmt.Sprintf("bg: invalid thread phase %d", m.phase[i]))
+		}
+	}
+}

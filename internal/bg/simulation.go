@@ -79,6 +79,15 @@ func New(m int, proto Protocol) (*Simulation, error) {
 	}, nil
 }
 
+// Reset clears the harness-visible simulation state so the object can be
+// reused across runs of a Reset simulator (the campaign pool's path).
+func (s *Simulation) Reset() {
+	clear(s.threadDecisions)
+	clear(s.simAdopted)
+	s.steps = s.steps[:0]
+	clear(s.resolved)
+}
+
 // ThreadDecision returns thread i's decision, if the simulation reached one.
 func (s *Simulation) ThreadDecision(i int) (any, bool) {
 	v := s.threadDecisions[i]

@@ -241,3 +241,138 @@ func (m *ConsensusMachine) Next(prev any) (sim.Op, bool) {
 
 // Round returns the number of commit-adopt rounds this process has started.
 func (m *ConsensusMachine) Round() int { return m.round }
+
+// imPhase locates an InstanceMachine call's next pending operation.
+type imPhase int
+
+const (
+	imIdle      imPhase = iota
+	imCheckRead         // the decision-register read is in flight
+	imInner             // the current round's commit-adopt object is running
+	imDecWrite          // the decision write is in flight
+)
+
+// InstanceMachine is the direct-dispatch counterpart of Consensus for
+// composition: CheckDecision and single-round Attempt exposed as explicit
+// sub-automata with the same Start/Feed/Result protocol as
+// consensus.InstanceMachine, so the kset agreement machine can drive either
+// engine. (ConsensusMachine above is the standalone run-to-decision loop;
+// this type mirrors the per-call granularity of the coroutine Consensus.)
+type InstanceMachine struct {
+	regs sim.Registry
+	name string
+	self procset.ID
+	n    int
+	dec  sim.Ref
+
+	round   int
+	est     any
+	decided any
+	hasDec  bool
+
+	attempting bool
+	v          any
+	phase      imPhase
+	inner      *ProposeMachine
+	innerDone  bool
+	innerCmt   bool
+	innerVal   any
+	resVal     any
+	resOk      bool
+}
+
+// NewInstanceMachine creates the machine-form handle for the named chain
+// instance. It performs no steps; round objects intern their registers
+// lazily as rounds are reached, exactly like the coroutine form.
+func NewInstanceMachine(regs sim.Registry, name string, self procset.ID, n int) *InstanceMachine {
+	return &InstanceMachine{
+		regs: regs,
+		name: name,
+		self: self,
+		n:    n,
+		dec:  regs.Reg(regNameDec(name)),
+	}
+}
+
+// Round returns the number of rounds this process has completed.
+func (m *InstanceMachine) Round() int { return m.round }
+
+// Result returns the completed call's return value: for CheckDecision the
+// (decision, known) pair, for Attempt the (decision, success) pair.
+func (m *InstanceMachine) Result() (any, bool) { return m.resVal, m.resOk }
+
+func (m *InstanceMachine) finish(val any, ok bool) (sim.Op, bool) {
+	m.phase = imIdle
+	m.resVal, m.resOk = val, ok
+	return sim.Op{}, false
+}
+
+// StartCheck begins a CheckDecision call. When hasOp is false the call
+// completed without steps (the decision was already cached).
+func (m *InstanceMachine) StartCheck() (op sim.Op, hasOp bool) {
+	if m.hasDec {
+		return m.finish(m.decided, true)
+	}
+	m.attempting = false
+	m.phase = imCheckRead
+	return sim.ReadOp(m.dec), true
+}
+
+// StartAttempt begins an Attempt(v) call: one chain round, preceded (as in
+// Consensus.Attempt) by a decision-register check. When hasOp is false the
+// call completed without steps (the decision was already cached).
+func (m *InstanceMachine) StartAttempt(v any) (op sim.Op, hasOp bool) {
+	if v == nil {
+		panic("commitadopt: nil proposals are not supported")
+	}
+	if m.hasDec {
+		return m.finish(m.decided, true)
+	}
+	m.attempting, m.v = true, v
+	m.phase = imCheckRead
+	return sim.ReadOp(m.dec), true
+}
+
+// Feed consumes the result of the operation in flight and issues the call's
+// next operation; hasOp == false completes the call (see Result).
+func (m *InstanceMachine) Feed(prev any) (op sim.Op, hasOp bool) {
+	switch m.phase {
+	case imCheckRead:
+		if prev != nil {
+			m.decided, m.hasDec = prev, true
+			return m.finish(m.decided, true)
+		}
+		if !m.attempting {
+			return m.finish(m.decided, m.hasDec)
+		}
+		if m.est == nil {
+			m.est = m.v
+		}
+		m.round++
+		m.innerDone = false
+		m.inner = NewProposeMachine(m.regs, roundName(m.name, m.round), m.self, m.n, m.est, func(commit bool, val any) {
+			m.innerDone, m.innerCmt, m.innerVal = true, commit, val
+		})
+		m.phase = imInner
+		op, _ := m.inner.Next(nil) // a fresh propose machine always has a first op
+		return op, true
+	case imInner:
+		if op, ok := m.inner.Next(prev); ok {
+			return op, true
+		}
+		if !m.innerDone {
+			panic("commitadopt: propose machine halted without delivering")
+		}
+		m.est = m.innerVal
+		if !m.innerCmt {
+			return m.finish(nil, false)
+		}
+		m.phase = imDecWrite
+		return sim.WriteOp(m.dec, m.innerVal), true
+	case imDecWrite:
+		m.decided, m.hasDec = m.innerVal, true
+		return m.finish(m.decided, true)
+	default:
+		panic(fmt.Sprintf("commitadopt: Feed with no call in flight (phase %d)", m.phase))
+	}
+}

@@ -57,10 +57,10 @@ func NewInstance(env sim.Env, name string) *Instance {
 		n:      n,
 		self:   env.Self(),
 		blocks: make([]sim.Ref, n+1),
-		dec:    env.Reg(fmt.Sprintf("consensus[%s].D", name)),
+		dec:    env.Reg(regNameDec(name)),
 	}
 	for q := 1; q <= n; q++ {
-		in.blocks[q] = env.Reg(fmt.Sprintf("consensus[%s].X[%d]", name, q))
+		in.blocks[q] = env.Reg(regNameBlock(name, q))
 	}
 	return in
 }

@@ -123,7 +123,7 @@ func runE4(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		runner, err := sim.NewRunner(sim.Config{N: bc.m, Algorithm: simn.Algorithm})
+		runner, err := sim.NewRunner(sim.Config{N: bc.m, Machine: simn.Machine})
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +193,7 @@ func bgPropertyII(m, threads int, crashes map[procset.ID]int, seed int64) (worst
 	if err != nil {
 		return 0, 0, err
 	}
-	runner, err := sim.NewRunner(sim.Config{N: m, Algorithm: simn.Algorithm})
+	runner, err := sim.NewRunner(sim.Config{N: m, Machine: simn.Machine})
 	if err != nil {
 		return 0, 0, err
 	}

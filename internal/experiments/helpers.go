@@ -165,7 +165,10 @@ type agreementRun struct {
 }
 
 // driveAgreement runs the kset solver with proposals "v<p>" and verifies the
-// three agreement properties afterwards.
+// three agreement properties afterwards. It runs on the machine
+// (direct-dispatch) path and hence on Run's batched loop — the hot
+// configuration of E3, E5, and the matrix campaigns; equivalence with the
+// coroutine path is pinned by the kset machine tests.
 func driveAgreement(cfg kset.Config, src sched.Source, maxSteps int) (agreementRun, error) {
 	run := agreementRun{FirstDecide: -1, LastDecide: -1, Decisions: make(map[procset.ID]any)}
 	var runner *sim.Runner
@@ -179,7 +182,7 @@ func driveAgreement(cfg kset.Config, src sched.Source, maxSteps int) (agreementR
 		return run, err
 	}
 	proposal := func(p procset.ID) any { return fmt.Sprintf("v%d", p) }
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: ag.Algorithm(proposal)})
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: ag.Machine(proposal)})
 	if err != nil {
 		return run, err
 	}
@@ -223,7 +226,10 @@ func driveAgreementAdversarial(cfg kset.Config, crashed procset.Set, maxSteps in
 		return run, nil, err
 	}
 	proposal := func(p procset.ID) any { return fmt.Sprintf("v%d", p) }
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Algorithm: ag.Algorithm(proposal)})
+	// Machine mode: the adversary drives per-step (it must observe every
+	// StepInfo), but each step is a direct dispatch rather than a coroutine
+	// handoff.
+	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: ag.Machine(proposal)})
 	if err != nil {
 		return run, nil, err
 	}

@@ -26,7 +26,7 @@ func TestFuzzModesBitIdentical(t *testing.T) {
 		base  = int64(5)
 	)
 	crashes := []map[procset.ID]int{nil, {1: 7}}
-	for _, name := range []string{TargetCommitAdopt, TargetConsensus, TargetCAChain} {
+	for _, name := range []string{TargetCommitAdopt, TargetConsensus, TargetCAChain, TargetKSet, TargetBG} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -101,13 +101,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // detectorK returns the effective detector parameter for the FD-based path.
 func (c Config) detectorK() int {
 	if c.DetectorK != 0 {
@@ -147,6 +140,14 @@ func New(cfg Config, onDecide func(p procset.ID, v any)) (*Agreement, error) {
 
 // Config returns the configuration.
 func (a *Agreement) Config() Config { return a.cfg }
+
+// Reset clears the recorded decisions so the harness can be reused across
+// runs of a Reset simulator (the campaign pool's path).
+func (a *Agreement) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	clear(a.decisions)
+}
 
 // Decision returns p's decision, if it has one.
 func (a *Agreement) Decision(p procset.ID) (any, bool) {

@@ -81,6 +81,13 @@ func (r *roundRobin) Next() procset.ID {
 	}
 }
 
+// NextBlock implements BlockSource with direct calls to the concrete Next.
+func (r *roundRobin) NextBlock(dst []procset.ID) {
+	for i := range dst {
+		dst[i] = r.Next()
+	}
+}
+
 func (r *roundRobin) N() int               { return r.n }
 func (r *roundRobin) Correct() procset.Set { return correctFromCrashMap(r.n, r.crashAfter) }
 
@@ -117,6 +124,13 @@ func (r *random) Next() procset.ID {
 			r.taken[p]++
 		}
 		return p
+	}
+}
+
+// NextBlock implements BlockSource with direct calls to the concrete Next.
+func (r *random) NextBlock(dst []procset.ID) {
+	for i := range dst {
+		dst[i] = r.Next()
 	}
 }
 
@@ -162,6 +176,13 @@ func (f *figure1) Next() procset.ID {
 		return f.p1
 	}
 	return f.p2
+}
+
+// NextBlock implements BlockSource with direct calls to the concrete Next.
+func (f *figure1) NextBlock(dst []procset.ID) {
+	for i := range dst {
+		dst[i] = f.Next()
+	}
 }
 
 func (f *figure1) N() int               { return f.n }
@@ -239,6 +260,13 @@ func (s *setTimely) Next() procset.ID {
 	return step
 }
 
+// NextBlock implements BlockSource with direct calls to the concrete Next.
+func (s *setTimely) NextBlock(dst []procset.ID) {
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+}
+
 func (s *setTimely) N() int               { return s.inner.N() }
 func (s *setTimely) Correct() procset.Set { return s.inner.Correct() }
 
@@ -296,6 +324,13 @@ func (r *rotatingStarver) Next() procset.ID {
 	p := r.others[r.otherPos]
 	r.otherPos = (r.otherPos + 1) % len(r.others)
 	return p
+}
+
+// NextBlock implements BlockSource with direct calls to the concrete Next.
+func (r *rotatingStarver) NextBlock(dst []procset.ID) {
+	for i := range dst {
+		dst[i] = r.Next()
+	}
 }
 
 func (r *rotatingStarver) N() int               { return r.n }

@@ -22,12 +22,34 @@ type Source interface {
 	Correct() procset.Set
 }
 
+// BlockSource is an optional Source extension for bulk delivery: NextBlock
+// fills dst with the source's next len(dst) steps, exactly as len(dst)
+// successive Next calls would. The simulator's batch loop uses it to prefetch
+// schedule entries without an interface dispatch per step; sources that do
+// not implement it are driven through Next. This package's generators all
+// implement it.
+type BlockSource interface {
+	Source
+	// NextBlock fills dst with the next len(dst) steps.
+	NextBlock(dst []procset.ID)
+}
+
+// FillBlock fills dst with the next len(dst) steps of src, using the bulk
+// path when the source provides one.
+func FillBlock(src Source, dst []procset.ID) {
+	if bs, ok := src.(BlockSource); ok {
+		bs.NextBlock(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = src.Next()
+	}
+}
+
 // Take materializes the next count steps of src as a finite schedule.
 func Take(src Source, count int) Schedule {
 	out := make(Schedule, count)
-	for i := range out {
-		out[i] = src.Next()
-	}
+	FillBlock(src, out)
 	return out
 }
 

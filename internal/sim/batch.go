@@ -1,0 +1,101 @@
+// The batched execution loop: the machine path's answer to Run's per-step
+// overhead. Run and RunSchedule pay, per step, one interface dispatch on the
+// schedule source, a StepInfo materialization, an observer branch, and a
+// stop-predicate modulus. None of that is needed on the hot configuration —
+// a machine-mode runner with no observer driving millions of steps between
+// stop checks — so RunBatch prefetches schedule entries in blocks (through
+// sched.BlockSource when the source provides it) and executes each block in
+// a tight loop of inlined machine dispatch that constructs no StepInfo at
+// all. The stop()/checkEvery branching is hoisted out of the inner loop:
+// blocks are sized so checks land exactly on the multiples of checkEvery
+// where Run would have performed them.
+//
+// The coroutine path keeps the per-step loop: every one of its steps blocks
+// on two channel handoffs anyway, so batching would complicate the engine
+// for a path whose cost is dominated by synchronization, not dispatch.
+
+package sim
+
+import (
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+)
+
+// batchBlock is the schedule prefetch size. Big enough to amortize the
+// per-block source call and loop bookkeeping, small enough to stay in cache
+// and to keep partial blocks (between stop checks) cheap to fill.
+const batchBlock = 256
+
+// RunBatch drives the runner with steps from src until the stop predicate
+// returns true (checked every checkEvery steps; 0 means every step) or
+// maxSteps have been executed — the same contract as Run, of which it is the
+// fast path. Machine-mode runners without an observer execute on the batched
+// loop; any other configuration falls back to the generic per-step loop, so
+// RunBatch is always safe to call. Runs are bit-identical across the two
+// loops and across engine modes.
+func (r *Runner) RunBatch(src sched.Source, maxSteps, checkEvery int, stop func() bool) RunResult {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	if r.machine == nil || r.observer != nil {
+		return r.runGeneric(src, maxSteps, checkEvery, stop)
+	}
+	if r.closed {
+		panic("sim: Step after Close")
+	}
+	var buf [batchBlock]procset.ID
+	executed := 0
+	for executed < maxSteps {
+		// Steps until the next stop check (or the end of the run): the whole
+		// chunk executes with no predicate branching.
+		chunk := maxSteps - executed
+		if stop != nil && chunk > checkEvery {
+			chunk = checkEvery
+		}
+		for chunk > 0 {
+			k := chunk
+			if k > batchBlock {
+				k = batchBlock
+			}
+			block := buf[:k]
+			sched.FillBlock(src, block)
+			r.stepBlock(block)
+			executed += k
+			chunk -= k
+		}
+		if stop != nil && executed%checkEvery == 0 && stop() {
+			return RunResult{Steps: executed, Stopped: true}
+		}
+	}
+	return RunResult{Steps: maxSteps, Stopped: false}
+}
+
+// stepBlock executes a block of schedule entries by inlined machine
+// dispatch. It is Step minus everything the hot path does not need: no
+// StepInfo is materialized (there is no observer) and no per-step predicate
+// runs. Counters (Steps, StepsTaken, Halted) advance exactly as under Step.
+func (r *Runner) stepBlock(block []procset.ID) {
+	for _, p := range block {
+		pr := r.procAt(p)
+		r.steps++
+		if pr.isHalted {
+			continue
+		}
+		if !pr.started {
+			pr.started = true
+			r.advanceMachine(pr, nil)
+			if pr.isHalted {
+				continue
+			}
+		}
+		op := pr.next
+		pr.stepCount++
+		reg := mustRegister(op.Reg)
+		if op.Kind == OpRead {
+			r.advanceMachine(pr, reg.value)
+		} else {
+			reg.value = op.Value
+			r.advanceMachine(pr, nil)
+		}
+	}
+}

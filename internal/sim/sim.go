@@ -515,11 +515,16 @@ type RunResult struct {
 
 // Run drives the runner with steps from src until the stop predicate returns
 // true (checked every checkEvery steps; 0 means every step) or maxSteps have
-// been executed. stop may be nil.
+// been executed. stop may be nil. Machine-mode runners without an observer
+// execute on the batched fast path (see RunBatch in batch.go); all other
+// configurations take the generic per-step loop. The two are bit-identical.
 func (r *Runner) Run(src sched.Source, maxSteps, checkEvery int, stop func() bool) RunResult {
-	if checkEvery <= 0 {
-		checkEvery = 1
-	}
+	return r.RunBatch(src, maxSteps, checkEvery, stop)
+}
+
+// runGeneric is the per-step run loop: the coroutine path, and the machine
+// path when an observer needs a StepInfo per step.
+func (r *Runner) runGeneric(src sched.Source, maxSteps, checkEvery int, stop func() bool) RunResult {
 	for i := 0; i < maxSteps; i++ {
 		r.Step(src.Next())
 		if stop != nil && (i+1)%checkEvery == 0 && stop() {
@@ -529,8 +534,16 @@ func (r *Runner) Run(src sched.Source, maxSteps, checkEvery int, stop func() boo
 	return RunResult{Steps: maxSteps, Stopped: false}
 }
 
-// RunSchedule executes a fixed finite schedule.
+// RunSchedule executes a fixed finite schedule. Like Run it takes the
+// batched machine loop when there is no observer to feed.
 func (r *Runner) RunSchedule(s sched.Schedule) {
+	if r.machine != nil && r.observer == nil {
+		if r.closed {
+			panic("sim: Step after Close")
+		}
+		r.stepBlock(s)
+		return
+	}
 	for _, p := range s {
 		r.Step(p)
 	}

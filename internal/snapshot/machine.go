@@ -1,0 +1,171 @@
+// Direct-dispatch forms of the snapshot object: Scan and Update with their
+// program counters made explicit, for sim.Runner's machine mode. Each call
+// is a one-shot sub-automaton with the Start/Feed/Result protocol used
+// throughout the machine ports (see consensus.InstanceMachine): Start issues
+// the call's first operation, Feed consumes results and issues the rest
+// (hasOp == false completes the call), Result delivers the return value.
+// Operation streams are op-for-op those of Object.Scan and Object.Update,
+// which the BG-simulation equivalence tests pin end to end.
+
+package snapshot
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// segName builds the register name of q's segment, shared by the coroutine
+// and machine forms so both intern the same slots.
+func segName(name string, q int) string { return fmt.Sprintf("snap[%s].seg[%d]", name, q) }
+
+// MachineObject is the machine-form handle on a named snapshot object: the
+// counterpart of Object for automata executed by direct dispatch.
+type MachineObject struct {
+	n    int
+	self procset.ID
+	segs []sim.Ref
+}
+
+// NewMachineObject creates the handle for the snapshot object with the given
+// name. It performs no steps and interns the same registers as New.
+func NewMachineObject(regs sim.Registry, name string, self procset.ID, n int) *MachineObject {
+	o := &MachineObject{n: n, self: self, segs: make([]sim.Ref, n+1)}
+	for q := 1; q <= n; q++ {
+		o.segs[q] = regs.Reg(segName(name, q))
+	}
+	return o
+}
+
+// decodeSegment mirrors Object.collect's decoding: nil stands for the zero
+// segment.
+func decodeSegment(v any) segment {
+	if v == nil {
+		return segment{}
+	}
+	s, ok := v.(segment)
+	if !ok {
+		panic(fmt.Sprintf("snapshot: register holds %T, want segment", v))
+	}
+	return s
+}
+
+// ScanMachine is one Scan call as a sub-automaton: repeated collects until
+// two agree or a doubly-moved process's embedded view can be borrowed.
+type ScanMachine struct {
+	o        *MachineObject
+	prev     []segment
+	cur      []segment
+	moved    []int
+	q        int
+	havePrev bool
+	view     View
+}
+
+// NewScan begins a Scan call. Call Start for the first operation.
+func (o *MachineObject) NewScan() *ScanMachine {
+	return &ScanMachine{
+		o:     o,
+		prev:  make([]segment, o.n+1),
+		cur:   make([]segment, o.n+1),
+		moved: make([]int, o.n+1),
+	}
+}
+
+// Start issues the call's first operation (the first read of the initial
+// collect).
+func (s *ScanMachine) Start() sim.Op {
+	s.q = 1
+	return sim.ReadOp(s.o.segs[1])
+}
+
+// Feed consumes the result of the read in flight and issues the next one;
+// hasOp == false completes the call (see Result).
+func (s *ScanMachine) Feed(prev any) (op sim.Op, hasOp bool) {
+	s.cur[s.q] = decodeSegment(prev)
+	if s.q < s.o.n {
+		s.q++
+		return sim.ReadOp(s.o.segs[s.q]), true
+	}
+	// A full collect just completed.
+	if !s.havePrev {
+		s.havePrev = true
+		s.prev, s.cur = s.cur, s.prev
+		s.q = 1
+		return sim.ReadOp(s.o.segs[1]), true
+	}
+	same := true
+	for q := 1; q <= s.o.n; q++ {
+		if s.cur[q].Seq != s.prev[q].Seq {
+			same = false
+			s.moved[q]++
+			if s.moved[q] >= 2 {
+				// q completed two Updates inside our interval; borrow its
+				// embedded view, exactly as Object.Scan does.
+				s.view = cloneView(s.cur[q].Emb)
+				return sim.Op{}, false
+			}
+		}
+	}
+	if same {
+		s.view = directView(s.cur)
+		return sim.Op{}, false
+	}
+	s.prev, s.cur = s.cur, s.prev
+	s.q = 1
+	return sim.ReadOp(s.o.segs[1]), true
+}
+
+// Result returns the completed call's snapshot.
+func (s *ScanMachine) Result() View { return s.view }
+
+// updatePhase locates an UpdateMachine's pending operation.
+type updatePhase int
+
+const (
+	upScan     updatePhase = iota // the embedded scan is running
+	upSelfRead                    // the own-segment read is in flight
+	upWrite                       // the segment write is in flight
+)
+
+// UpdateMachine is one Update call as a sub-automaton: an embedded scan,
+// the own-segment read, and the segment write.
+type UpdateMachine struct {
+	o     *MachineObject
+	v     any
+	scan  *ScanMachine
+	phase updatePhase
+}
+
+// NewUpdate begins an Update(v) call. Call Start for the first operation.
+func (o *MachineObject) NewUpdate(v any) *UpdateMachine {
+	return &UpdateMachine{o: o, v: v, scan: o.NewScan()}
+}
+
+// Start issues the call's first operation.
+func (u *UpdateMachine) Start() sim.Op { return u.scan.Start() }
+
+// Feed consumes the result of the operation in flight and issues the next
+// one; hasOp == false completes the call.
+func (u *UpdateMachine) Feed(prev any) (op sim.Op, hasOp bool) {
+	switch u.phase {
+	case upScan:
+		if op, hasOp := u.scan.Feed(prev); hasOp {
+			return op, true
+		}
+		u.phase = upSelfRead
+		return sim.ReadOp(u.o.segs[u.o.self]), true
+	case upSelfRead:
+		seq := 0
+		if prev != nil {
+			seq = prev.(segment).Seq
+		}
+		u.phase = upWrite
+		return sim.WriteOp(u.o.segs[u.o.self], segment{Seq: seq + 1, Val: u.v, Emb: u.scan.Result()}), true
+	case upWrite:
+		return sim.Op{}, false
+	default:
+		panic(fmt.Sprintf("snapshot: invalid update phase %d", u.phase))
+	}
+}

@@ -62,7 +62,7 @@ func New(env sim.Env, name string) *Object {
 	n := env.N()
 	o := &Object{env: env, n: n, self: env.Self(), segs: make([]sim.Ref, n+1)}
 	for q := 1; q <= n; q++ {
-		o.segs[q] = env.Reg(fmt.Sprintf("snap[%s].seg[%d]", name, q))
+		o.segs[q] = env.Reg(segName(name, q))
 	}
 	return o
 }

@@ -157,8 +157,8 @@ func Solve(cfg SolveConfig) (SolveResult, error) {
 		return out, err
 	}
 	runner, err := sim.NewRunner(sim.Config{
-		N:         p.N,
-		Algorithm: ag.Algorithm(func(q ProcID) any { return proposals[q] }),
+		N:       p.N,
+		Machine: ag.Machine(func(q ProcID) any { return proposals[q] }),
 	})
 	if err != nil {
 		return out, err
