@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"time"
 
 	"github.com/settimeliness/settimeliness/internal/experiments"
@@ -26,8 +27,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base seed")
 		markdown = flag.Bool("markdown", false, "emit tables as markdown")
 		jsonOut  = flag.Bool("json", false, "emit one JSON record per experiment (for perf tracking)")
+		gogc     = flag.Int("gogc", 400, "GC target percentage for this batch run (0 leaves the runtime default); the BG experiments allocate an immutable value per write step, and a short-lived batch tool prefers fewer collections over a small heap")
 	)
 	flag.Parse()
+	if *gogc > 0 && os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(*gogc)
+	}
 	if err := run(os.Stdout, *quick, *id, *seed, *markdown, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
 		os.Exit(1)

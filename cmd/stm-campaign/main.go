@@ -48,6 +48,8 @@ func main() {
 		err = cmdConverge(os.Args[2:], os.Stdout)
 	case "relations":
 		err = cmdRelations(os.Args[2:], os.Stdout)
+	case "adversarial":
+		err = cmdAdversarial(os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -64,6 +66,7 @@ func usage() {
   stm-campaign fuzz      -target commitadopt|consensus|cachain|kset|bg -schedules S  schedule fuzzing
   stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
   stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
+  stm-campaign adversarial -n N -runs R [-steps S]                      parking adversary vs the Theorem 24 solver
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
 Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE`)
 }
@@ -352,6 +355,42 @@ func parseCrashPatterns(spec string) ([]map[procset.ID]int, error) {
 		}
 	}
 	return patterns, nil
+}
+
+func cmdAdversarial(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("adversarial", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	n := fs.Int("n", 4, "number of processes (solver runs at k = t = n/2)")
+	steps := fs.Int("steps", 100_000, "step horizon per run")
+	runs := fs.Int("runs", 32, "number of runs (cycles through the crash-pattern population)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sink, closeSink, err := c.sink()
+	if err != nil {
+		return err
+	}
+	rep, executed, err := explore.AdversarialPooledCampaign(context.Background(), c.workers, *n, *steps, *runs, c.seed, sink)
+	if cerr := closeSink(); err == nil && cerr != nil {
+		err = cerr
+	}
+	params := map[string]any{"n": *n, "steps": *steps, "runs": *runs}
+	if err != nil {
+		if rep != nil {
+			dst := w
+			if c.jsonOut {
+				dst = os.Stderr
+			}
+			fmt.Fprintf(dst, "FAILED after %d runs: %v\n", executed, err)
+			if eerr := emit(w, c, "adversarial", params, rep); eerr != nil {
+				return eerr
+			}
+			return fmt.Errorf("adversarial campaign failed")
+		}
+		return err
+	}
+	return emit(w, c, "adversarial", params, rep)
 }
 
 func cmdConverge(args []string, w io.Writer) error {

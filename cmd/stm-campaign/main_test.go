@@ -112,6 +112,22 @@ func TestConvergeCampaignSmoke(t *testing.T) {
 	}
 }
 
+func TestAdversarialCampaignSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	err := cmdAdversarial([]string{"-n", "3", "-runs", "6", "-steps", "20000", "-workers", "2", "-json"}, &out)
+	if err != nil {
+		t.Fatalf("adversarial campaign failed: %v\noutput: %s", err, out.String())
+	}
+	var rec record
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if rec.Summary.Tallies["starved"] != 6 {
+		t.Errorf("tallies = %v, want 6 starved runs", rec.Summary.Tallies)
+	}
+}
+
 func TestRelationsCampaignSmoke(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer

@@ -27,10 +27,22 @@
 // round-robin), so the schedule lies in S^i_{j,n} for the configured cell,
 // while the parked-on-demand pattern starves exactly the processes that are
 // about to decide.
+//
+// The adversary is a sim.Director: DriveDirected runs it on the simulator's
+// directed fast path, where it is consulted once per step for the next
+// process and called back only on write steps, with the written register
+// identified by its interned dense id (no string parsing, no StepInfo). Its
+// state is dense to match — the parked set is a bitset over Πn, park records
+// live in a flat array, and per-instance ballot maxima in a slice indexed by
+// the interned instance id. The legacy per-step Drive loop is retained; both
+// drivers make bit-identical scheduling decisions (pinned by the package's
+// equivalence tests).
 package adversary
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"github.com/settimeliness/settimeliness/internal/consensus"
 	"github.com/settimeliness/settimeliness/internal/procset"
@@ -38,45 +50,114 @@ import (
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
 
+// DefaultScheduleLimit is the number of schedule entries recorded when
+// Config.ScheduleLimit is zero: the conformance checks of the experiments
+// analyze exactly this prefix, so recording more would grow an unbounded
+// slice (hundreds of thousands of entries per negative-budget run) that
+// nobody reads.
+const DefaultScheduleLimit = 50_000
+
+// RecordAll disables the schedule-recording bound (Config.ScheduleLimit).
+const RecordAll = -1
+
 // Config parameterizes the adversary.
 type Config struct {
 	// N is the system size.
 	N int
 	// CrashedFromStart are processes that never take a step.
 	CrashedFromStart procset.Set
+	// ScheduleLimit bounds how many schedule entries Schedule retains:
+	// 0 means DefaultScheduleLimit, RecordAll disables the bound (tests
+	// that analyze full runs use this). Scheduling decisions are unaffected.
+	ScheduleLimit int
 }
 
-// Adversary drives a sim.Runner adaptively. Create one per run.
-type Adversary struct {
-	cfg    Config
-	order  []procset.ID
-	pos    int
-	parked map[procset.ID]parkInfo
-	// highest planted ballot per consensus instance
-	maxBallot map[string]int
-	schedule  sched.Schedule
-}
-
+// parkInfo records why a process is parked: the instance (dense id) whose
+// phase-2 write it performed, and at which ballot.
 type parkInfo struct {
-	instance string
+	instance int
 	ballot   int
+}
+
+// Adversary drives a sim.Runner adaptively. It pools: Reset (or
+// ResetCrashed) returns it to its initial state so campaign workers reuse
+// one adversary per rig.
+type Adversary struct {
+	cfg   Config
+	order []procset.ID
+	pos   int
+
+	parkedSet procset.Set
+	parked    [procset.MaxProcs + 1]parkInfo
+
+	// maxBallot holds the highest planted ballot per consensus instance,
+	// indexed by the table's dense instance id.
+	maxBallot []int
+
+	// table resolves register slots to (instance, kind) metadata; it is
+	// bound to the runner DriveDirected last ran against. The legacy Drive
+	// loop shares its instance numbering through InstanceID.
+	table   *consensus.Table
+	boundTo *sim.Runner
+
+	schedule sched.Schedule
+	schedMax int
+	steps    int
 }
 
 // New builds an adversary.
 func New(cfg Config) (*Adversary, error) {
+	a := &Adversary{table: consensus.NewTable(nil)}
+	if err := a.configure(cfg); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// configure validates cfg and installs it, resetting all run state.
+func (a *Adversary) configure(cfg Config) error {
 	if cfg.N < 1 || cfg.N > procset.MaxProcs {
-		return nil, fmt.Errorf("adversary: n = %d out of range", cfg.N)
+		return fmt.Errorf("adversary: n = %d out of range", cfg.N)
 	}
 	live := procset.FullSet(cfg.N).Minus(cfg.CrashedFromStart)
 	if live.IsEmpty() {
-		return nil, fmt.Errorf("adversary: all processes crashed")
+		return fmt.Errorf("adversary: all processes crashed")
 	}
-	return &Adversary{
-		cfg:       cfg,
-		order:     live.Members(),
-		parked:    make(map[procset.ID]parkInfo),
-		maxBallot: make(map[string]int),
-	}, nil
+	a.cfg = cfg
+	a.order = append(a.order[:0], live.Members()...)
+	a.schedMax = cfg.ScheduleLimit
+	switch {
+	case a.schedMax == 0:
+		a.schedMax = DefaultScheduleLimit
+	case a.schedMax < 0:
+		a.schedMax = math.MaxInt
+	}
+	a.resetRun()
+	return nil
+}
+
+// resetRun clears the per-run state (park records, ballot maxima, schedule).
+func (a *Adversary) resetRun() {
+	a.pos = 0
+	a.parkedSet = procset.EmptySet
+	clear(a.maxBallot)
+	a.schedule = a.schedule[:0]
+	a.steps = 0
+}
+
+// Reset returns the adversary to its initial state under the same
+// configuration, so it can drive another run (the campaign pool's path).
+// The register-metadata binding survives: a pooled adversary reused with
+// its pooled runner pays no re-interning.
+func (a *Adversary) Reset() { a.resetRun() }
+
+// ResetCrashed is Reset with a different crashed-from-start set — the matrix
+// campaign varies the Theorem 27 case 2(b) fictitious processes per cell
+// while pooling everything else.
+func (a *Adversary) ResetCrashed(crashed procset.Set) error {
+	cfg := a.cfg
+	cfg.CrashedFromStart = crashed
+	return a.configure(cfg)
 }
 
 // Correct returns the set of processes scheduled infinitely often: everyone
@@ -85,8 +166,13 @@ func (a *Adversary) Correct() procset.Set {
 	return procset.FullSet(a.cfg.N).Minus(a.cfg.CrashedFromStart)
 }
 
-// Schedule returns the schedule generated so far.
+// Schedule returns the recorded prefix of the generated schedule (bounded by
+// Config.ScheduleLimit; see Steps for the total step count).
 func (a *Adversary) Schedule() sched.Schedule { return a.schedule }
+
+// Steps returns how many steps the adversary has scheduled in total, which
+// may exceed len(Schedule()) once the recording bound is reached.
+func (a *Adversary) Steps() int { return a.steps }
 
 // next picks the round-robin successor among unparked live processes. If
 // every live process is parked (which the park/resume invariants prevent,
@@ -96,61 +182,105 @@ func (a *Adversary) next() procset.ID {
 	for range a.order {
 		p := a.order[a.pos]
 		a.pos = (a.pos + 1) % len(a.order)
-		if _, isParked := a.parked[p]; !isParked {
+		if !a.parkedSet.Contains(p) {
 			return p
 		}
 	}
 	// Degenerate fallback: everything parked; release the current candidate.
 	p := a.order[a.pos]
 	a.pos = (a.pos + 1) % len(a.order)
-	delete(a.parked, p)
+	a.parkedSet = a.parkedSet.Remove(p)
 	return p
 }
 
-// observe updates the park/resume state from an executed step.
-func (a *Adversary) observe(info sim.StepInfo) {
-	if info.Kind != sim.OpWrite {
+// record appends a scheduling decision to the bounded schedule recording.
+func (a *Adversary) record(p procset.ID) {
+	a.steps++
+	if len(a.schedule) < a.schedMax {
+		a.schedule = append(a.schedule, p)
+	}
+}
+
+// Next implements sim.Director: emit the next scheduling decision. Drive
+// directed runs through DriveDirected rather than passing the adversary to
+// Runner.RunDirected yourself — DriveDirected binds the register-metadata
+// table to the runner first, without which OnWrite cannot resolve slots.
+func (a *Adversary) Next() procset.ID {
+	p := a.next()
+	a.record(p)
+	return p
+}
+
+// OnWrite implements sim.Director: classify the write through the interned
+// register metadata and apply the park/resume rules to ballot writes.
+func (a *Adversary) OnWrite(slot sim.RegID, proc procset.ID, value any) {
+	e := a.table.Entry(slot)
+	if e.Kind != consensus.RegisterBallot {
 		return
 	}
-	instance, kind := consensus.ParseRegister(info.Reg)
-	if kind != RegisterBallotKind {
-		return
-	}
-	mbal, _, phase2, ok := consensus.BlockInfo(info.Value)
+	a.onBallotWrite(e.Instance, proc, value)
+}
+
+// onBallotWrite applies the park/resume rules, shared by both drivers.
+func (a *Adversary) onBallotWrite(instance int, proc procset.ID, value any) {
+	mbal, _, phase2, ok := consensus.BlockInfo(value)
 	if !ok {
 		return
+	}
+	for instance >= len(a.maxBallot) {
+		a.maxBallot = append(a.maxBallot, 0)
 	}
 	if mbal > a.maxBallot[instance] {
 		a.maxBallot[instance] = mbal
 		// A strictly higher ballot was planted: release any process parked
 		// on this instance with a lower ballot — when it resumes, its
 		// phase-2 read sweep will observe the intruder and abort.
-		for p, pk := range a.parked {
-			if pk.instance == instance && pk.ballot < mbal {
-				delete(a.parked, p)
+		for s := uint64(a.parkedSet); s != 0; s &= s - 1 {
+			p := procset.ID(bits.TrailingZeros64(s) + 1)
+			if pk := &a.parked[p]; pk.instance == instance && pk.ballot < mbal {
+				a.parkedSet = a.parkedSet.Remove(p)
 			}
 		}
 	}
 	if phase2 {
 		// The writer is one read-sweep away from a decision write: park it
 		// until someone plants a higher ballot.
-		a.parked[info.Proc] = parkInfo{instance: instance, ballot: mbal}
+		a.parked[proc] = parkInfo{instance: instance, ballot: mbal}
+		a.parkedSet = a.parkedSet.Add(proc)
 	}
 }
 
 // RegisterBallotKind aliases the consensus register kind for observe.
 const RegisterBallotKind = consensus.RegisterBallot
 
-// Drive executes up to maxSteps steps against the runner, checking stop
-// every checkEvery steps. It returns the number of steps taken and whether
-// the stop predicate fired.
+// DriveDirected executes up to maxSteps steps against the runner on the
+// simulator's directed fast path, checking stop every checkEvery steps. It
+// returns the number of steps taken and whether the stop predicate fired.
+// Scheduling decisions, park/resume behavior, and the recorded schedule are
+// bit-identical to Drive's.
+func (a *Adversary) DriveDirected(runner *sim.Runner, maxSteps, checkEvery int, stop func() bool) (int, bool) {
+	if a.boundTo != runner {
+		// A new runner means a new slot namespace: rebind the metadata
+		// table (instance numbering survives, so accumulated ballot maxima
+		// keep their meaning).
+		a.boundTo = runner
+		a.table.Rebind(runner.RegName)
+	}
+	res := runner.RunDirected(a, maxSteps, checkEvery, stop)
+	return res.Steps, res.Stopped
+}
+
+// Drive executes up to maxSteps steps against the runner through the generic
+// per-step Step/StepInfo path, checking stop every checkEvery steps. It is
+// the legacy driver, retained as the independent reference implementation
+// the directed path is tested against (and the only driver for observed
+// runners, whose observers need the per-step StepInfo anyway).
 func (a *Adversary) Drive(runner *sim.Runner, maxSteps, checkEvery int, stop func() bool) (int, bool) {
 	if checkEvery <= 0 {
 		checkEvery = 1
 	}
 	for i := 0; i < maxSteps; i++ {
-		p := a.next()
-		a.schedule = append(a.schedule, p)
+		p := a.Next()
 		info := runner.Step(p)
 		a.observe(info)
 		if stop != nil && (i+1)%checkEvery == 0 && stop() {
@@ -160,6 +290,20 @@ func (a *Adversary) Drive(runner *sim.Runner, maxSteps, checkEvery int, stop fun
 	return maxSteps, false
 }
 
+// observe updates the park/resume state from an executed step, classifying
+// the register by name — the string-parsing path the interned metadata
+// replaces on directed runs.
+func (a *Adversary) observe(info sim.StepInfo) {
+	if info.Kind != sim.OpWrite {
+		return
+	}
+	instance, kind := consensus.ParseRegister(info.Reg)
+	if kind != RegisterBallotKind {
+		return
+	}
+	a.onBallotWrite(a.table.InstanceID(instance), info.Proc, info.Value)
+}
+
 // MaxParked returns the number of processes currently parked (diagnostics;
 // the invariant keeps it at most the number of consensus instances in play).
-func (a *Adversary) MaxParked() int { return len(a.parked) }
+func (a *Adversary) MaxParked() int { return a.parkedSet.Size() }

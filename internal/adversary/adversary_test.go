@@ -25,6 +25,31 @@ func TestConfigValidation(t *testing.T) {
 	if adv.Correct() != procset.MakeSet(1, 2) {
 		t.Errorf("Correct = %v", adv.Correct())
 	}
+	if err := adv.ResetCrashed(procset.MakeSet(1, 2, 3)); err == nil {
+		t.Error("ResetCrashed accepted an all-crashed set")
+	}
+}
+
+// newKsetRunner builds the Theorem 24 workload the adversary is specialized
+// against, in either execution mode.
+func newKsetRunner(t *testing.T, cfg kset.Config, machineMode bool) (*kset.Agreement, *sim.Runner) {
+	t.Helper()
+	ag, err := kset.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposal := func(p procset.ID) any { return int(p) }
+	scfg := sim.Config{N: cfg.N}
+	if machineMode {
+		scfg.Machine = ag.Machine(proposal)
+	} else {
+		scfg.Algorithm = ag.Algorithm(proposal)
+	}
+	runner, err := sim.NewRunner(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag, runner
 }
 
 // TestParkingPreventsDecisions is the core property: against the Theorem 24
@@ -37,20 +62,9 @@ func TestParkingPreventsDecisions(t *testing.T) {
 		tc := tc
 		t.Run(fmt.Sprintf("k%d_n%d", tc.k, tc.n), func(t *testing.T) {
 			t.Parallel()
-			cfg := kset.Config{N: tc.n, K: tc.k, T: tc.k}
-			ag, err := kset.New(cfg, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			runner, err := sim.NewRunner(sim.Config{
-				N:         tc.n,
-				Algorithm: ag.Algorithm(func(p procset.ID) any { return int(p) }),
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
+			ag, runner := newKsetRunner(t, kset.Config{N: tc.n, K: tc.k, T: tc.k}, false)
 			defer runner.Close()
-			adv, err := New(Config{N: tc.n})
+			adv, err := New(Config{N: tc.n, ScheduleLimit: RecordAll})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,18 +93,8 @@ func TestParkingPreventsDecisions(t *testing.T) {
 
 func TestParkedNeverExceedsInstances(t *testing.T) {
 	t.Parallel()
-	cfg := kset.Config{N: 4, K: 2, T: 2}
-	ag, err := kset.New(cfg, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	runner, err := sim.NewRunner(sim.Config{
-		N:         4,
-		Algorithm: ag.Algorithm(func(p procset.ID) any { return int(p) }),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	ag, runner := newKsetRunner(t, kset.Config{N: 4, K: 2, T: 2}, false)
+	_ = ag
 	defer runner.Close()
 	adv, err := New(Config{N: 4})
 	if err != nil {
@@ -110,21 +114,11 @@ func TestParkedNeverExceedsInstances(t *testing.T) {
 
 func TestCrashedTailNeverScheduled(t *testing.T) {
 	t.Parallel()
-	cfg := kset.Config{N: 5, K: 2, T: 3}
-	ag, err := kset.New(cfg, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	runner, err := sim.NewRunner(sim.Config{
-		N:         5,
-		Algorithm: ag.Algorithm(func(p procset.ID) any { return int(p) }),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	ag, runner := newKsetRunner(t, kset.Config{N: 5, K: 2, T: 3}, false)
+	_ = ag
 	defer runner.Close()
 	crashed := procset.MakeSet(4, 5)
-	adv, err := New(Config{N: 5, CrashedFromStart: crashed})
+	adv, err := New(Config{N: 5, CrashedFromStart: crashed, ScheduleLimit: RecordAll})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,5 +129,157 @@ func TestCrashedTailNeverScheduled(t *testing.T) {
 	}
 	if !s.Participants().SubsetOf(procset.MakeSet(1, 2, 3)) {
 		t.Errorf("participants = %v", s.Participants())
+	}
+}
+
+// advOutcome is everything observable about one adversarial run, compared
+// bit for bit across drivers, execution modes, and pooled reuse.
+type advOutcome struct {
+	steps    int
+	stopped  bool
+	schedule string
+	decided  procset.Set
+	parked   int
+}
+
+func driveOutcome(t *testing.T, cfg kset.Config, crashed procset.Set, budget int, machineMode, directed bool, reuse int) advOutcome {
+	t.Helper()
+	ag, runner := newKsetRunner(t, cfg, machineMode)
+	defer runner.Close()
+	adv, err := New(Config{N: cfg.N, CrashedFromStart: crashed, ScheduleLimit: RecordAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out advOutcome
+	for round := 0; round <= reuse; round++ {
+		if round > 0 {
+			adv.Reset()
+			ag.Reset()
+			if err := runner.Reset(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stop := func() bool { return !ag.DecidedSet().IsEmpty() }
+		var steps int
+		var stopped bool
+		if directed {
+			steps, stopped = adv.DriveDirected(runner, budget, 200, stop)
+		} else {
+			steps, stopped = adv.Drive(runner, budget, 200, stop)
+		}
+		out = advOutcome{
+			steps:    steps,
+			stopped:  stopped,
+			schedule: adv.Schedule().String(),
+			decided:  ag.DecidedSet(),
+			parked:   adv.MaxParked(),
+		}
+	}
+	return out
+}
+
+// TestDirectedMatchesDrive pins the tentpole's equivalence: the directed
+// fast path produces bit-identical schedules, park/resume decisions, and
+// outcomes to the legacy per-step Drive loop — across configurations, crash
+// sets, execution modes, and Reset reuse.
+func TestDirectedMatchesDrive(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		cfg     kset.Config
+		crashed procset.Set
+	}{
+		{"k1_n3", kset.Config{N: 3, K: 1, T: 1}, procset.EmptySet},
+		{"k2_n4", kset.Config{N: 4, K: 2, T: 2}, procset.EmptySet},
+		{"k2_n5_crashed", kset.Config{N: 5, K: 2, T: 3}, procset.MakeSet(5)},
+	}
+	const budget = 30_000
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			legacy := driveOutcome(t, tc.cfg, tc.crashed, budget, true, false, 0)
+			directed := driveOutcome(t, tc.cfg, tc.crashed, budget, true, true, 0)
+			if legacy != directed {
+				t.Errorf("directed diverges from legacy Drive:\n  legacy   %+v\n  directed %+v",
+					redact(legacy), redact(directed))
+			}
+			// The directed fast path vs the generic directed loop (coroutine
+			// runner): same decisions through a completely different engine.
+			coroutine := driveOutcome(t, tc.cfg, tc.crashed, budget, false, true, 0)
+			if legacy != coroutine {
+				t.Errorf("coroutine directed run diverges:\n  legacy    %+v\n  coroutine %+v",
+					redact(legacy), redact(coroutine))
+			}
+			// Reset reuse: the third run on one pooled rig replays the first.
+			reused := driveOutcome(t, tc.cfg, tc.crashed, budget, true, true, 2)
+			if legacy != reused {
+				t.Errorf("pooled reuse diverges:\n  fresh  %+v\n  reused %+v",
+					redact(legacy), redact(reused))
+			}
+		})
+	}
+}
+
+// redact trims the schedule string for readable failure output.
+func redact(o advOutcome) advOutcome {
+	if len(o.schedule) > 120 {
+		o.schedule = o.schedule[:120] + "…"
+	}
+	return o
+}
+
+// TestScheduleRecordingBounded pins the satellite: recording stops at the
+// configured bound while scheduling continues, and RecordAll disables the
+// bound.
+func TestScheduleRecordingBounded(t *testing.T) {
+	t.Parallel()
+	ag, runner := newKsetRunner(t, kset.Config{N: 3, K: 1, T: 1}, true)
+	_ = ag
+	defer runner.Close()
+	adv, err := New(Config{N: 3, ScheduleLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv.DriveDirected(runner, 5000, 0, nil)
+	if got := len(adv.Schedule()); got != 1000 {
+		t.Errorf("recorded %d entries, want the 1000-entry bound", got)
+	}
+	if adv.Steps() != 5000 {
+		t.Errorf("Steps = %d, want 5000", adv.Steps())
+	}
+	// The default bound kicks in at DefaultScheduleLimit.
+	adv2, err := New(Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	adv2.DriveDirected(runner, DefaultScheduleLimit+500, 0, nil)
+	if got := len(adv2.Schedule()); got != DefaultScheduleLimit {
+		t.Errorf("recorded %d entries, want DefaultScheduleLimit = %d", got, DefaultScheduleLimit)
+	}
+}
+
+// TestResetClearsState drives, resets, and checks the run state is back to
+// initial while the metadata binding survives.
+func TestResetClearsState(t *testing.T) {
+	t.Parallel()
+	ag, runner := newKsetRunner(t, kset.Config{N: 3, K: 1, T: 1}, true)
+	_ = ag
+	defer runner.Close()
+	adv, err := New(Config{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv.DriveDirected(runner, 10_000, 0, nil)
+	if adv.Steps() == 0 || len(adv.Schedule()) == 0 {
+		t.Fatal("drive recorded nothing")
+	}
+	adv.Reset()
+	if adv.Steps() != 0 || len(adv.Schedule()) != 0 || adv.MaxParked() != 0 {
+		t.Errorf("Reset left state: steps=%d sched=%d parked=%d",
+			adv.Steps(), len(adv.Schedule()), adv.MaxParked())
 	}
 }

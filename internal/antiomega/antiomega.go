@@ -26,7 +26,6 @@ package antiomega
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sim"
@@ -102,14 +101,24 @@ type state struct {
 	fdOutput      procset.Set
 	winnerset     procset.Set
 	myHb          int
-	prevHeartbeat []int   // indexed by process (1-based)
-	timeout       []int   // indexed by subset
-	timer         []int   // indexed by subset
-	accusation    []int   // indexed by subset
-	cnt           [][]int // indexed by subset, then process (1-based)
+	prevHeartbeat []int // indexed by process (1-based)
+	timeout       []int // indexed by subset
+	timer         []int // indexed by subset
+	accusation    []int // indexed by subset
+	// cnt holds Counter[A, q] row-major with stride n+1 (row ai at
+	// cnt[ai*(n+1)], entry q at cnt[ai*(n+1)+q]). A flat slice keeps the
+	// per-step counter stores of the machine form to one bounds-checked
+	// index — this is the single hottest array of the repository.
+	cnt []int
 
 	iterations int
 	scratch    []int // reused buffer for the (t+1)-st smallest computation
+}
+
+// cntRow returns the Counter[A, *] row of the subset with canonical index ai.
+func (st *state) cntRow(ai int) []int {
+	stride := st.cfg.N + 1
+	return st.cnt[ai*stride : (ai+1)*stride]
 }
 
 // newState builds the initial local state for one process (Figure 2's
@@ -124,11 +133,10 @@ func newState(cfg Config, self procset.ID) state {
 		timeout:       make([]int, len(subsets)),
 		timer:         make([]int, len(subsets)),
 		accusation:    make([]int, len(subsets)),
-		cnt:           make([][]int, len(subsets)),
+		cnt:           make([]int, len(subsets)*(cfg.N+1)),
 		scratch:       make([]int, cfg.N),
 	}
 	for ai := range subsets {
-		st.cnt[ai] = make([]int, cfg.N+1)
 		st.timeout[ai] = 1
 		st.timer[ai] = 1
 	}
@@ -144,7 +152,7 @@ func newState(cfg Config, self procset.ID) state {
 // set as winnerset, output its complement.
 func (st *state) chooseWinner() {
 	for ai := range st.subsets {
-		st.accusation[ai] = st.aggregate(st.cnt[ai])
+		st.accusation[ai] = st.aggregate(st.cntRow(ai))
 	}
 	winner := 0
 	for ai := 1; ai < len(st.subsets); ai++ {
@@ -188,10 +196,17 @@ func (st *state) tickTimer(ai int) bool {
 // aggregate computes the accusation counter from cnt[1..n] per the
 // configured policy; the paper's Definition 13 is the (t+1)-st smallest,
 // clamped to n (relevant only for t = n−1, where t+1 = n is the largest).
+// The sort is a hand-rolled insertion sort: rows are tiny (n entries) and
+// this runs once per subset per iteration on the detector's hottest path,
+// where sort.Ints' generic dispatch is measurable.
 func (st *state) aggregate(cnt []int) int {
-	vals := st.scratch[:0]
-	vals = append(vals, cnt[1:]...)
-	sort.Ints(vals)
+	vals := st.scratch[:len(cnt)-1]
+	copy(vals, cnt[1:])
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
 	switch st.cfg.Aggregate {
 	case AggregateMin:
 		return vals[0]
@@ -294,8 +309,9 @@ func (in *Instance) Iterate() {
 	n := in.cfg.N
 	// Lines 2–5: collect all counters, choose FD output.
 	for ai := range in.subsets {
+		row := in.cntRow(ai)
 		for q := 1; q <= n; q++ {
-			in.cnt[ai][q] = asInt(in.env.Read(in.counterRefs[ai][q]))
+			row[q] = asInt(in.env.Read(in.counterRefs[ai][q]))
 		}
 	}
 	in.chooseWinner()
@@ -312,7 +328,7 @@ func (in *Instance) Iterate() {
 	// Lines 14–19: check for expiration of set timers.
 	for ai := range in.subsets {
 		if in.tickTimer(ai) {
-			in.env.Write(in.counterRefs[ai][in.self], in.cnt[ai][in.self]+1)
+			in.env.Write(in.counterRefs[ai][in.self], in.cntRow(ai)[in.self]+1)
 		}
 	}
 	in.iterations++

@@ -21,15 +21,34 @@ import (
 // object: the counterpart of SafeAgreement, with Propose and Resolve exposed
 // as one-shot sub-automata.
 type SafeAgreementMachine struct {
-	snap     *snapshot.MachineObject
+	snap     snapshot.MachineObject
 	n        int
 	proposed bool
+
+	// Reusable call machines: a process runs at most one propose or resolve
+	// call on this object at a time, so the hot simulator loop allocates
+	// nothing per call.
+	propM SAProposeMachine
+	resvM SAResolveMachine
 }
 
 // NewSafeAgreementMachine creates the handle. It performs no steps and
-// interns the same registers as NewSafeAgreement.
+// interns the same registers as NewSafeAgreement. The snapshot handle is
+// embedded by value: the BG simulation creates one of these per simulated
+// (thread, round), so construction is kept to a single allocation plus the
+// register interning.
 func NewSafeAgreementMachine(regs sim.Registry, name string, self procset.ID, n int) *SafeAgreementMachine {
-	return &SafeAgreementMachine{snap: snapshot.NewMachineObject(regs, "sa."+name, self, n), n: n}
+	sa := &SafeAgreementMachine{n: n}
+	sa.snap.Init(regs, "sa."+name, self, n)
+	return sa
+}
+
+// Rebind points the handle at a different named object of the same size,
+// reusing all buffers and resetting the doorway state. The simulator
+// machine recycles one handle per simulated thread as rounds advance.
+func (sa *SafeAgreementMachine) Rebind(regs sim.Registry, name string) {
+	sa.proposed = false
+	sa.snap.Rebind(regs, "sa."+name)
 }
 
 // Proposed reports whether this process already entered the doorway.
@@ -54,11 +73,15 @@ type SAProposeMachine struct {
 	scan  *snapshot.ScanMachine
 }
 
-// NewPropose begins a Propose(v) call. Start issues the first operation;
-// hasOp == false means the call completed without steps (the process had
-// already proposed, matching SafeAgreement.Propose's early return).
+// NewPropose begins a Propose(v) call on the object's reusable propose
+// machine. Start issues the first operation; hasOp == false means the call
+// completed without steps (the process had already proposed, matching
+// SafeAgreement.Propose's early return). The returned machine is valid
+// until the next NewPropose or NewResolve on this object.
 func (sa *SafeAgreementMachine) NewPropose(v any) *SAProposeMachine {
-	return &SAProposeMachine{sa: sa, v: v}
+	p := &sa.propM
+	p.sa, p.v, p.phase, p.upd, p.scan = sa, v, sapEnter, nil, nil
+	return p
 }
 
 // Start issues the call's first operation.
@@ -113,9 +136,12 @@ type SAResolveMachine struct {
 	ok   bool
 }
 
-// NewResolve begins a Resolve call.
+// NewResolve begins a Resolve call on the object's reusable resolve
+// machine, valid until the next NewPropose or NewResolve on this object.
 func (sa *SafeAgreementMachine) NewResolve() *SAResolveMachine {
-	return &SAResolveMachine{sa: sa, scan: sa.snap.NewScan()}
+	r := &sa.resvM
+	r.sa, r.scan, r.val, r.ok = sa, sa.snap.NewScan(), nil, false
+	return r
 }
 
 // Start issues the call's first operation.
@@ -172,7 +198,12 @@ type simMachine struct {
 	regs sim.Registry
 	n    int // simulated threads
 	mem  *snapshot.MachineObject
-	sas  map[ThreadStep]*SafeAgreementMachine
+	// Safe agreement handles, one recycled per thread: this simulator only
+	// ever works on a thread's current round (rounds advance monotonically
+	// and old rounds are never revisited by the same simulator), so each
+	// thread's handle is rebound in place as its round moves on.
+	sas     []*SafeAgreementMachine // indexed by thread (1-based)
+	saRound []int                   // round sas[i] is currently bound to
 
 	know   View
 	states []any
@@ -200,7 +231,8 @@ func (s *Simulation) Machine(p procset.ID, regs sim.Registry) sim.Machine {
 		regs:    regs,
 		n:       n,
 		mem:     snapshot.NewMachineObject(regs, "bg.mem", p, s.m),
-		sas:     make(map[ThreadStep]*SafeAgreementMachine),
+		sas:     make([]*SafeAgreementMachine, n+1),
+		saRound: make([]int, n+1),
 		know:    make(View, n+1),
 		states:  make([]any, n+1),
 		round:   make([]int, n+1),
@@ -216,13 +248,16 @@ func (s *Simulation) Machine(p procset.ID, regs sim.Registry) sim.Machine {
 }
 
 func (m *simMachine) saFor(i, r int) *SafeAgreementMachine {
-	key := ThreadStep{Thread: i, Round: r}
-	sa, ok := m.sas[key]
-	if !ok {
-		sa = NewSafeAgreementMachine(m.regs, fmt.Sprintf("bg[%d,%d]", i, r), m.self, m.s.m)
-		m.sas[key] = sa
+	switch {
+	case m.sas[i] == nil:
+		m.sas[i] = NewSafeAgreementMachine(m.regs, saName(i, r), m.self, m.s.m)
+	case m.saRound[i] != r:
+		m.sas[i].Rebind(m.regs, saName(i, r))
+	default:
+		return m.sas[i]
 	}
-	return sa
+	m.saRound[i] = r
+	return m.sas[i]
 }
 
 // absorb merges the freshest knowledge per thread from a scanned snapshot of

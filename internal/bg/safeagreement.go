@@ -18,10 +18,20 @@
 package bg
 
 import (
+	"strconv"
+
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sim"
 	"github.com/settimeliness/settimeliness/internal/snapshot"
 )
+
+// saName builds the name of the safe agreement object for one simulated
+// (thread, round), shared by the coroutine and machine simulators so both
+// intern the same registers. Plain concatenation: one object is created per
+// resolved round, so naming sits near the hot path.
+func saName(thread, round int) string {
+	return "bg[" + strconv.Itoa(thread) + "," + strconv.Itoa(round) + "]"
+}
 
 // saLevel values for the safe agreement doorway.
 const (

@@ -165,7 +165,7 @@ func (s *Simulation) Algorithm(p procset.ID) sim.Algorithm {
 			key := ThreadStep{Thread: i, Round: r}
 			sa, ok := sas[key]
 			if !ok {
-				sa = NewSafeAgreement(env, fmt.Sprintf("bg[%d,%d]", i, r))
+				sa = NewSafeAgreement(env, saName(i, r))
 				sas[key] = sa
 			}
 			return sa

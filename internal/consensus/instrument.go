@@ -2,6 +2,8 @@ package consensus
 
 import (
 	"strings"
+
+	"github.com/settimeliness/settimeliness/internal/sim"
 )
 
 // This file exposes read-only instrumentation over the register traffic of
@@ -40,6 +42,96 @@ func ParseRegister(name string) (instance string, kind RegisterKind) {
 		return "", RegisterUnknown
 	}
 }
+
+// TableEntry is the interned metadata of one register slot: which consensus
+// instance it belongs to (a dense id assigned in first-seen order; -1 for
+// registers that are not consensus registers) and which kind of register it
+// is.
+type TableEntry struct {
+	Instance int
+	Kind     RegisterKind
+}
+
+// Table resolves a runner's interned register slots (sim.RegID) to consensus
+// metadata: ParseRegister runs once per slot, at first sight, and every
+// later lookup is a dense-slice load. Directed-run observers (the parking
+// adversary) use it to classify write steps without per-step string parsing.
+//
+// A Table is bound to one runner's interning order (ids are stable across
+// Runner.Reset, so a pooled runner keeps its table). It is not safe for
+// concurrent use.
+type Table struct {
+	name      func(sim.RegID) string
+	meta      []TableEntry
+	instances map[string]int
+	names     []string
+}
+
+// NewTable builds an empty table over the given slot-name resolver
+// (typically Runner.RegName). The resolver may be nil for consumers that
+// only use the instance-interning half (InstanceID) until a Rebind.
+func NewTable(name func(sim.RegID) string) *Table {
+	return &Table{name: name, instances: make(map[string]int)}
+}
+
+// Rebind points the table at a different runner's slot namespace: the
+// per-slot metadata cache is discarded (slot ids are runner-specific), the
+// instance numbering survives (names are global).
+func (t *Table) Rebind(name func(sim.RegID) string) {
+	t.name = name
+	t.meta = t.meta[:0]
+}
+
+// Entry returns the metadata of the given slot, interning it on first sight.
+func (t *Table) Entry(id sim.RegID) TableEntry {
+	if int(id) < len(t.meta) {
+		return t.meta[id]
+	}
+	return t.extend(id)
+}
+
+// extend grows the table through slot id. Slots are interned in ascending
+// order of first sight, so the loop typically adds a single entry.
+func (t *Table) extend(id sim.RegID) TableEntry {
+	if t.name == nil {
+		panic("consensus: Table has no slot-name resolver; Rebind it to a runner before slot lookups")
+	}
+	for next := sim.RegID(len(t.meta)); next <= id; next++ {
+		instance, kind := ParseRegister(t.name(next))
+		e := TableEntry{Instance: -1, Kind: kind}
+		if kind != RegisterUnknown {
+			idx, ok := t.instances[instance]
+			if !ok {
+				idx = len(t.names)
+				t.instances[instance] = idx
+				t.names = append(t.names, instance)
+			}
+			e.Instance = idx
+		}
+		t.meta = append(t.meta, e)
+	}
+	return t.meta[id]
+}
+
+// InstanceID returns the dense id of the named instance, interning it if
+// needed. Legacy per-step observers share the table's numbering this way, so
+// dense consumers and string-parsing consumers agree on instance ids.
+func (t *Table) InstanceID(instance string) int {
+	idx, ok := t.instances[instance]
+	if !ok {
+		idx = len(t.names)
+		t.instances[instance] = idx
+		t.names = append(t.names, instance)
+	}
+	return idx
+}
+
+// NumInstances returns how many distinct consensus instances the table has
+// seen.
+func (t *Table) NumInstances() int { return len(t.names) }
+
+// InstanceName returns the name of the instance with the given dense id.
+func (t *Table) InstanceName(id int) string { return t.names[id] }
 
 // BlockInfo extracts the ballot numbers from a value written to an X
 // register. phase2 reports whether the write opens phase 2 of its ballot

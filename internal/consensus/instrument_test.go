@@ -1,6 +1,10 @@
 package consensus
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
 
 func TestParseRegister(t *testing.T) {
 	t.Parallel()
@@ -25,6 +29,58 @@ func TestParseRegister(t *testing.T) {
 			t.Errorf("ParseRegister(%q) = (%q, %v), want (%q, %v)",
 				tc.name, instance, kind, tc.instance, tc.kind)
 		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	t.Parallel()
+	names := []string{
+		"consensus[kset[0]].X[1]", // slot 0
+		"consensus[kset[0]].X[2]", // slot 1
+		"consensus[kset[1]].X[1]", // slot 2
+		"consensus[kset[0]].D",    // slot 3
+		"Heartbeat[1]",            // slot 4
+	}
+	resolved := 0
+	tb := NewTable(func(id sim.RegID) string {
+		resolved++
+		return names[id]
+	})
+	// Out-of-order first lookup extends through every earlier slot.
+	if e := tb.Entry(2); e.Kind != RegisterBallot || e.Instance != tb.InstanceID("kset[1]") {
+		t.Errorf("slot 2 = %+v", e)
+	}
+	if e := tb.Entry(0); e.Kind != RegisterBallot || e.Instance != tb.InstanceID("kset[0]") {
+		t.Errorf("slot 0 = %+v", e)
+	}
+	if e := tb.Entry(3); e.Kind != RegisterDecision || e.Instance != tb.InstanceID("kset[0]") {
+		t.Errorf("slot 3 = %+v", e)
+	}
+	if e := tb.Entry(4); e.Kind != RegisterUnknown || e.Instance != -1 {
+		t.Errorf("slot 4 = %+v", e)
+	}
+	if tb.NumInstances() != 2 {
+		t.Errorf("NumInstances = %d, want 2", tb.NumInstances())
+	}
+	if tb.InstanceName(tb.InstanceID("kset[1]")) != "kset[1]" {
+		t.Error("instance name round trip failed")
+	}
+	// Each slot's name is parsed exactly once.
+	before := resolved
+	for id := range names {
+		tb.Entry(sim.RegID(id))
+	}
+	if resolved != before {
+		t.Errorf("repeat lookups re-parsed names: %d resolutions after warm table", resolved-before)
+	}
+	if resolved != len(names) {
+		t.Errorf("resolved %d names, want %d", resolved, len(names))
+	}
+	// Rebind discards the slot cache but keeps the instance numbering.
+	kset1 := tb.InstanceID("kset[1]")
+	tb.Rebind(func(id sim.RegID) string { return "consensus[kset[1]].X[1]" })
+	if e := tb.Entry(0); e.Instance != kset1 {
+		t.Errorf("instance id changed across Rebind: %d vs %d", e.Instance, kset1)
 	}
 }
 

@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"github.com/settimeliness/settimeliness/internal/adversary"
 	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/core"
 	"github.com/settimeliness/settimeliness/internal/kset"
@@ -11,6 +13,56 @@ import (
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/trace"
 )
+
+// rigPools recycles agreement rigs across the cells of a matrix campaign,
+// one campaign.Pool per solver configuration (cells of one problem share
+// {N,K,T} but differ in DetectorK, so a sweep holds a handful of pools).
+// Workers build at most one rig per (configuration, concurrent worker)
+// instead of a fresh kset solver + runner per cell.
+type rigPools struct {
+	mu    sync.Mutex
+	pools map[kset.Config]*campaign.Pool[*agreementRig]
+}
+
+func newRigPools() *rigPools {
+	return &rigPools{pools: make(map[kset.Config]*campaign.Pool[*agreementRig])}
+}
+
+// get hands out a reset rig for the configuration, building pool and rig on
+// demand.
+func (rp *rigPools) get(cfg kset.Config) (*agreementRig, error) {
+	rp.mu.Lock()
+	pool, ok := rp.pools[cfg]
+	if !ok {
+		pool = campaign.NewPool(func() (*agreementRig, error) { return newAgreementRig(cfg) })
+		rp.pools[cfg] = pool
+	}
+	rp.mu.Unlock()
+	rig, err := pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	if err := rig.reset(); err != nil {
+		rig.close()
+		return nil, err
+	}
+	return rig, nil
+}
+
+func (rp *rigPools) put(rig *agreementRig) {
+	rp.mu.Lock()
+	pool := rp.pools[rig.cfg]
+	rp.mu.Unlock()
+	pool.Put(rig)
+}
+
+func (rp *rigPools) drain() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	for _, pool := range rp.pools {
+		pool.Drain(func(rig *agreementRig) { rig.close() })
+	}
+}
 
 // MatrixCell is one (i,j) entry of the Theorem 27 matrix for a fixed
 // problem, pairing the theoretical verdict with the empirical outcome.
@@ -52,6 +104,8 @@ func MatrixSweep(ctx context.Context, problems []core.Problem, seed int64, posBu
 }
 
 func runMatrixSweep(ctx context.Context, problems []core.Problem, seed int64, posBudget, negBudget, workers int, onResult func(campaign.Outcome)) ([]MatrixCell, *campaign.Report, error) {
+	pools := newRigPools()
+	defer pools.drain()
 	var jobs []campaign.Job
 	for _, p := range problems {
 		if err := p.Validate(); err != nil {
@@ -64,7 +118,7 @@ func runMatrixSweep(ctx context.Context, problems []core.Problem, seed int64, po
 				jobs = append(jobs, campaign.Job{
 					Name: fmt.Sprintf("%v S^%d_{%d,%d}", p, i, j, p.N),
 					Run: func(ctx context.Context, _ int64) (campaign.Outcome, error) {
-						cell, err := runCell(p, i, j, seed, posBudget, negBudget)
+						cell, err := runCell(pools, p, i, j, seed, posBudget, negBudget)
 						if err != nil {
 							return campaign.Outcome{}, err
 						}
@@ -93,8 +147,8 @@ func runMatrixSweep(ctx context.Context, problems []core.Problem, seed int64, po
 	return cells, rep, nil
 }
 
-// runCell evaluates one (i,j) cell of p's matrix.
-func runCell(p core.Problem, i, j int, seed int64, posBudget, negBudget int) (MatrixCell, error) {
+// runCell evaluates one (i,j) cell of p's matrix on a pooled rig.
+func runCell(pools *rigPools, p core.Problem, i, j int, seed int64, posBudget, negBudget int) (MatrixCell, error) {
 	sys := core.Sij(i, j, p.N)
 	theory, err := p.SolvableIn(sys)
 	if err != nil {
@@ -102,9 +156,9 @@ func runCell(p core.Problem, i, j int, seed int64, posBudget, negBudget int) (Ma
 	}
 	cell := MatrixCell{Problem: p, I: i, J: j, Theory: theory}
 	if theory {
-		cell.Empirical, cell.Match, cell.Steps, err = runSolvableCell(p, sys, seed, posBudget)
+		cell.Empirical, cell.Match, cell.Steps, err = runSolvableCell(pools, p, sys, seed, posBudget)
 	} else {
-		cell.Empirical, cell.Match, cell.Steps, err = runUnsolvableCell(p, sys, seed, negBudget)
+		cell.Empirical, cell.Match, cell.Steps, err = runUnsolvableCell(pools, p, sys, seed, negBudget)
 	}
 	if err != nil {
 		return MatrixCell{}, err
@@ -129,7 +183,7 @@ func cellOutcome(cell MatrixCell) campaign.Outcome {
 	}
 }
 
-func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, int, error) {
+func runSolvableCell(pools *rigPools, p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, int, error) {
 	kcfg, err := p.AgreementConfig(sys)
 	if err != nil {
 		return "", false, 0, err
@@ -155,10 +209,12 @@ func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) 
 	if err != nil {
 		return "", false, 0, err
 	}
-	run, err := driveAgreement(kcfg, src, budget)
+	rig, err := pools.get(kcfg)
 	if err != nil {
 		return "", false, 0, err
 	}
+	defer pools.put(rig)
+	run := rig.driveConformant(src, budget)
 	if run.AllDecided && len(run.Violations) == 0 {
 		return fmt.Sprintf("DECIDED@%d (%d values)", run.LastDecide, run.Distinct), true, run.Steps, nil
 	}
@@ -182,7 +238,7 @@ func runSolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) 
 //
 // Termination must fail (Theorem 27 says no algorithm terminates on all such
 // schedules; the adversary defeats ours on this one) and safety must hold.
-func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, int, error) {
+func runUnsolvableCell(pools *rigPools, p core.Problem, sys core.SystemID, seed int64, budget int) (string, bool, int, error) {
 	kcfg := kset.Config{N: p.N, K: p.K, T: p.T}
 	var crashed procset.Set
 	if sys.I <= p.K {
@@ -190,7 +246,12 @@ func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int
 			crashed = crashed.Add(procset.ID(p.N - q))
 		}
 	}
-	run, schedule, err := driveAgreementAdversarial(kcfg, crashed, budget)
+	rig, err := pools.get(kcfg)
+	if err != nil {
+		return "", false, 0, err
+	}
+	defer pools.put(rig)
+	run, schedule, err := rig.driveAdversarial(crashed, budget)
 	if err != nil {
 		return "", false, 0, err
 	}
@@ -216,9 +277,11 @@ func runUnsolvableCell(p core.Problem, sys core.SystemID, seed int64, budget int
 			witnessP = witnessP.Add(q)
 		}
 		witnessQ := witnessP.Union(crashed)
+		// The adversary's recording is already bounded to this prefix;
+		// re-slice defensively in case a caller configured full recording.
 		prefix := schedule
-		if len(prefix) > 50_000 {
-			prefix = prefix[:50_000]
+		if len(prefix) > adversary.DefaultScheduleLimit {
+			prefix = prefix[:adversary.DefaultScheduleLimit]
 		}
 		if sched.MaxQGap(prefix, witnessP, witnessQ) != 0 {
 			return "CONFORMANCE FAILURE", false, run.Steps, nil

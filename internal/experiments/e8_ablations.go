@@ -134,5 +134,13 @@ func (a *alternatingBursts) Next() procset.ID {
 	return procset.ID(pos%2 + 3)
 }
 
+// NextBlock implements sched.BlockSource with direct calls to the concrete
+// Next, so the simulator's batch loop skips the per-step interface dispatch.
+func (a *alternatingBursts) NextBlock(dst []procset.ID) {
+	for i := range dst {
+		dst[i] = a.Next()
+	}
+}
+
 func (a *alternatingBursts) N() int               { return a.n }
 func (a *alternatingBursts) Correct() procset.Set { return procset.FullSet(4) }

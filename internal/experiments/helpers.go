@@ -164,97 +164,155 @@ type agreementRun struct {
 	Steps        int
 }
 
-// driveAgreement runs the kset solver with proposals "v<p>" and verifies the
+// proposalStrings holds the "v<p>" proposal values, computed once for the
+// whole package instead of one fmt.Sprintf per process per run (the matrix
+// campaign drives thousands of runs).
+var proposalStrings = func() [procset.MaxProcs + 1]any {
+	var out [procset.MaxProcs + 1]any
+	for p := 1; p <= procset.MaxProcs; p++ {
+		out[p] = fmt.Sprintf("v%d", p)
+	}
+	return out
+}()
+
+// agreementRig bundles a reusable (t,k,n)-agreement run: the solver, its
+// direct-dispatch runner, and — for the negative cells — a pooled parking
+// adversary. The matrix campaign pools rigs per configuration across cells
+// (reset restores everything); the one-shot drivers build a fresh rig per
+// run. This mirrors detectorRig for the agreement workloads.
+type agreementRig struct {
+	cfg    kset.Config
+	ag     *kset.Agreement
+	runner *sim.Runner
+	adv    *adversary.Adversary // created on first adversarial drive
+
+	// onDecide is the per-run decision hook; the kset callback dispatches
+	// through it so one Agreement serves many pooled runs.
+	onDecide func(p procset.ID, v any)
+}
+
+func newAgreementRig(cfg kset.Config) (*agreementRig, error) {
+	rig := &agreementRig{cfg: cfg}
+	ag, err := kset.New(cfg, func(p procset.ID, v any) {
+		if rig.onDecide != nil {
+			rig.onDecide(p, v)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rig.ag = ag
+	rig.runner, err = sim.NewRunner(sim.Config{
+		N:       cfg.N,
+		Machine: ag.Machine(func(p procset.ID) any { return proposalStrings[p] }),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+// reset restores the rig for the next pooled run. The adversary (if any) is
+// reset by the adversarial driver, which also reconfigures its crash set.
+func (rig *agreementRig) reset() error {
+	rig.onDecide = nil
+	rig.ag.Reset()
+	return rig.runner.Reset()
+}
+
+func (rig *agreementRig) close() { rig.runner.Close() }
+
+// harvest summarizes the completed run from the harness state.
+func (rig *agreementRig) harvest(run *agreementRun, correct procset.Set) {
+	run.Distinct = rig.ag.DistinctDecisions()
+	for p := 1; p <= rig.cfg.N; p++ {
+		if v, ok := rig.ag.Decision(procset.ID(p)); ok {
+			run.Decisions[procset.ID(p)] = v
+		}
+	}
+	run.Violations, run.SafetyErrors = verifyAgreement(rig.cfg, run.Decisions, correct)
+}
+
+// driveConformant runs the solver on a schedule source and verifies the
 // three agreement properties afterwards. It runs on the machine
 // (direct-dispatch) path and hence on Run's batched loop — the hot
 // configuration of E3, E5, and the matrix campaigns; equivalence with the
 // coroutine path is pinned by the kset machine tests.
-func driveAgreement(cfg kset.Config, src sched.Source, maxSteps int) (agreementRun, error) {
+func (rig *agreementRig) driveConformant(src sched.Source, maxSteps int) agreementRun {
 	run := agreementRun{FirstDecide: -1, LastDecide: -1, Decisions: make(map[procset.ID]any)}
-	var runner *sim.Runner
-	ag, err := kset.New(cfg, func(p procset.ID, v any) {
+	rig.onDecide = func(p procset.ID, v any) {
 		if run.FirstDecide < 0 {
-			run.FirstDecide = runner.Steps()
+			run.FirstDecide = rig.runner.Steps()
 		}
-		run.LastDecide = runner.Steps()
-	})
-	if err != nil {
-		return run, err
+		run.LastDecide = rig.runner.Steps()
 	}
-	proposal := func(p procset.ID) any { return fmt.Sprintf("v%d", p) }
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: ag.Machine(proposal)})
-	if err != nil {
-		return run, err
-	}
-	defer runner.Close()
-
 	correct := src.Correct()
-	res := runner.Run(src, maxSteps, 200, func() bool {
-		return correct.SubsetOf(ag.DecidedSet())
+	res := rig.runner.Run(src, maxSteps, 200, func() bool {
+		return correct.SubsetOf(rig.ag.DecidedSet())
 	})
 	run.AllDecided = res.Stopped
-	run.Steps = runner.Steps()
-	run.Distinct = ag.DistinctDecisions()
-	for p := 1; p <= cfg.N; p++ {
-		if v, ok := ag.Decision(procset.ID(p)); ok {
-			run.Decisions[procset.ID(p)] = v
-		}
-	}
-	run.Violations, run.SafetyErrors = verifyAgreement(cfg, run.Decisions, correct)
-	return run, nil
+	run.Steps = rig.runner.Steps()
+	rig.harvest(&run, correct)
+	return run
 }
 
-// driveAgreementAdversarial runs the kset solver under the adaptive parking
-// adversary (internal/adversary), with the given processes crashed from the
-// start. The park rule guarantees no decision register is ever written, so
-// the run demonstrates non-termination within the horizon; the caller checks
-// safety and schedule conformance.
-func driveAgreementAdversarial(cfg kset.Config, crashed procset.Set, maxSteps int) (agreementRun, sched.Schedule, error) {
+// driveAdversarial runs the solver under the adaptive parking adversary on
+// the simulator's directed fast path, with the given processes crashed from
+// the start. The park rule guarantees no decision register is ever written,
+// so the run demonstrates non-termination within the horizon; the caller
+// checks safety and schedule conformance. The returned schedule is the
+// adversary's bounded recording and is only valid until the rig's next run.
+func (rig *agreementRig) driveAdversarial(crashed procset.Set, maxSteps int) (agreementRun, sched.Schedule, error) {
 	run := agreementRun{FirstDecide: -1, LastDecide: -1, Decisions: make(map[procset.ID]any)}
-	adv, err := adversary.New(adversary.Config{N: cfg.N, CrashedFromStart: crashed})
-	if err != nil {
-		return run, nil, err
-	}
-	var runner *sim.Runner
-	ag, err := kset.New(cfg, func(p procset.ID, v any) {
-		if run.FirstDecide < 0 {
-			run.FirstDecide = runner.Steps()
+	if rig.adv == nil {
+		adv, err := adversary.New(adversary.Config{N: rig.cfg.N, CrashedFromStart: crashed})
+		if err != nil {
+			return run, nil, err
 		}
-		run.LastDecide = runner.Steps()
-	})
-	if err != nil {
+		rig.adv = adv
+	} else if err := rig.adv.ResetCrashed(crashed); err != nil {
 		return run, nil, err
 	}
-	proposal := func(p procset.ID) any { return fmt.Sprintf("v%d", p) }
-	// Machine mode: the adversary drives per-step (it must observe every
-	// StepInfo), but each step is a direct dispatch rather than a coroutine
-	// handoff.
-	runner, err = sim.NewRunner(sim.Config{N: cfg.N, Machine: ag.Machine(proposal)})
-	if err != nil {
-		return run, nil, err
+	rig.onDecide = func(p procset.ID, v any) {
+		if run.FirstDecide < 0 {
+			run.FirstDecide = rig.runner.Steps()
+		}
+		run.LastDecide = rig.runner.Steps()
 	}
-	defer runner.Close()
-
-	correct := adv.Correct()
-	steps, stopped := adv.Drive(runner, maxSteps, 200, func() bool {
-		return correct.SubsetOf(ag.DecidedSet())
+	correct := rig.adv.Correct()
+	steps, stopped := rig.adv.DriveDirected(rig.runner, maxSteps, 200, func() bool {
+		return correct.SubsetOf(rig.ag.DecidedSet())
 	})
 	run.AllDecided = stopped
 	run.Steps = steps
-	run.Distinct = ag.DistinctDecisions()
-	for p := 1; p <= cfg.N; p++ {
-		if v, ok := ag.Decision(procset.ID(p)); ok {
-			run.Decisions[procset.ID(p)] = v
-		}
+	rig.harvest(&run, correct)
+	return run, rig.adv.Schedule(), nil
+}
+
+// driveAgreement is the one-shot form: a fresh rig driven once.
+func driveAgreement(cfg kset.Config, src sched.Source, maxSteps int) (agreementRun, error) {
+	rig, err := newAgreementRig(cfg)
+	if err != nil {
+		return agreementRun{}, err
 	}
-	run.Violations, run.SafetyErrors = verifyAgreement(cfg, run.Decisions, correct)
-	return run, adv.Schedule(), nil
+	defer rig.close()
+	return rig.driveConformant(src, maxSteps), nil
+}
+
+// driveAgreementAdversarial is the one-shot adversarial form.
+func driveAgreementAdversarial(cfg kset.Config, crashed procset.Set, maxSteps int) (agreementRun, sched.Schedule, error) {
+	rig, err := newAgreementRig(cfg)
+	if err != nil {
+		return agreementRun{}, nil, err
+	}
+	defer rig.close()
+	return rig.driveAdversarial(crashed, maxSteps)
 }
 
 func verifyAgreement(cfg kset.Config, decisions map[procset.ID]any, correct procset.Set) (all, safety []error) {
 	props := make(map[procset.ID]any, cfg.N)
 	for p := 1; p <= cfg.N; p++ {
-		props[procset.ID(p)] = fmt.Sprintf("v%d", p)
+		props[procset.ID(p)] = proposalStrings[p]
 	}
 	run := check.AgreementRun{
 		N: cfg.N, K: cfg.K, T: cfg.T,

@@ -1,0 +1,53 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestAdversarialCampaignStarves pins the adversarial explorer's contract:
+// across the crash-pattern population, every run ends starved with safety
+// intact, and the summary is bit-identical at any worker count.
+func TestAdversarialCampaignStarves(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{3, 4} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			t.Parallel()
+			// 12 runs cycles through the whole crash-pattern population at
+			// both sizes (∅ plus all singletons) at least twice.
+			rep1, runs1, err := AdversarialPooledCampaign(context.Background(), 1, n, 40_000, 12, 1, nil)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			if runs1 != 12 {
+				t.Fatalf("executed %d runs, want 12", runs1)
+			}
+			if got := rep1.Summary.Tallies["starved"]; got != 12 {
+				t.Errorf("starved %d of 12 runs; tallies = %v", got, rep1.Summary.Tallies)
+			}
+			rep4, runs4, err := AdversarialPooledCampaign(context.Background(), 4, n, 40_000, 12, 1, nil)
+			if err != nil {
+				t.Fatalf("workers=4: %v", err)
+			}
+			if runs4 != runs1 {
+				t.Errorf("run counts differ across worker counts: %d vs %d", runs1, runs4)
+			}
+			if fmt.Sprintf("%v", rep1.Summary.Tallies) != fmt.Sprintf("%v", rep4.Summary.Tallies) {
+				t.Errorf("summaries differ across worker counts:\n  %v\n  %v",
+					rep1.Summary.Tallies, rep4.Summary.Tallies)
+			}
+		})
+	}
+}
+
+func TestAdversarialCampaignValidation(t *testing.T) {
+	t.Parallel()
+	if _, _, err := AdversarialPooledCampaign(context.Background(), 1, 1, 100, 1, 1, nil); err == nil {
+		t.Error("n = 1 accepted")
+	}
+	if _, _, err := AdversarialPooledCampaign(context.Background(), 1, 3, 0, 1, 1, nil); err == nil {
+		t.Error("steps = 0 accepted")
+	}
+}

@@ -13,8 +13,9 @@ import (
 // in the schedule.
 type roundRobin struct {
 	n          int
-	crashAfter map[procset.ID]int
-	taken      map[procset.ID]int
+	crashAfter map[procset.ID]int // retained for Correct()
+	limit      []int              // indexed by process; -1 = never crashes
+	taken      []int
 	order      []procset.ID
 	pos        int
 }
@@ -29,8 +30,15 @@ func RoundRobin(n int, crashAfter map[procset.ID]int) (Source, error) {
 	rr := &roundRobin{
 		n:          n,
 		crashAfter: crashAfter,
-		taken:      make(map[procset.ID]int, len(crashAfter)),
+		limit:      make([]int, n+1),
+		taken:      make([]int, n+1),
 		order:      make([]procset.ID, n),
+	}
+	for p := range rr.limit {
+		rr.limit[p] = -1
+	}
+	for p, c := range crashAfter {
+		rr.limit[p] = c
 	}
 	for i := range rr.order {
 		rr.order[i] = procset.ID(i + 1)
@@ -70,13 +78,14 @@ func (r *roundRobin) Next() procset.ID {
 	for {
 		p := r.order[r.pos]
 		r.pos = (r.pos + 1) % len(r.order)
-		limit, crashes := r.crashAfter[p]
-		if crashes && r.taken[p] >= limit {
+		lim := r.limit[p]
+		if lim < 0 {
+			return p
+		}
+		if r.taken[p] >= lim {
 			continue
 		}
-		if crashes {
-			r.taken[p]++
-		}
+		r.taken[p]++
 		return p
 	}
 }
@@ -92,10 +101,14 @@ func (r *roundRobin) N() int               { return r.n }
 func (r *roundRobin) Correct() procset.Set { return correctFromCrashMap(r.n, r.crashAfter) }
 
 // random schedules live processes uniformly at random (seeded, reproducible).
+// The crash pattern is held as dense per-process slices — limit[p] < 0 means
+// p never crashes — so the per-step rejection check costs two slice loads
+// instead of map lookups (this source feeds every batched campaign run).
 type random struct {
 	n          int
-	crashAfter map[procset.ID]int
-	taken      map[procset.ID]int
+	crashAfter map[procset.ID]int // retained for Correct()
+	limit      []int              // indexed by process; -1 = never crashes
+	taken      []int
 	rng        *rand.Rand
 }
 
@@ -105,25 +118,34 @@ func Random(n int, seed int64, crashAfter map[procset.ID]int) (Source, error) {
 	if err := validateCrashMap(n, crashAfter); err != nil {
 		return nil, err
 	}
-	return &random{
+	r := &random{
 		n:          n,
 		crashAfter: crashAfter,
-		taken:      make(map[procset.ID]int, len(crashAfter)),
+		limit:      make([]int, n+1),
+		taken:      make([]int, n+1),
 		rng:        rand.New(rand.NewSource(seed)),
-	}, nil
+	}
+	for p := range r.limit {
+		r.limit[p] = -1
+	}
+	for p, c := range crashAfter {
+		r.limit[p] = c
+	}
+	return r, nil
 }
 
 func (r *random) Next() procset.ID {
 	for {
-		p := procset.ID(r.rng.Intn(r.n) + 1)
-		limit, crashes := r.crashAfter[p]
-		if crashes && r.taken[p] >= limit {
-			continue
+		p := r.rng.Intn(r.n) + 1
+		lim := r.limit[p]
+		if lim < 0 {
+			return procset.ID(p)
 		}
-		if crashes {
-			r.taken[p]++
+		if r.taken[p] >= lim {
+			continue // crashed: the draw is consumed, exactly as before
 		}
-		return p
+		r.taken[p]++
+		return procset.ID(p)
 	}
 }
 

@@ -17,6 +17,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 )
@@ -72,11 +74,18 @@ func (r *Runner) RunBatch(src sched.Source, maxSteps, checkEvery int, stop func(
 
 // stepBlock executes a block of schedule entries by inlined machine
 // dispatch. It is Step minus everything the hot path does not need: no
-// StepInfo is materialized (there is no observer) and no per-step predicate
-// runs. Counters (Steps, StepsTaken, Halted) advance exactly as under Step.
+// StepInfo is materialized (there is no observer), no per-step predicate
+// runs, and the machine-advance bookkeeping of advanceMachine is spelled
+// out in the loop body (the per-step function call is measurable at this
+// loop's throughput). Counters (Steps, StepsTaken, Halted) advance exactly
+// as under Step.
 func (r *Runner) stepBlock(block []procset.ID) {
+	procs := r.procs
 	for _, p := range block {
-		pr := r.procAt(p)
+		if p < 1 || procset.ID(len(procs)) < p {
+			panic(fmt.Sprintf("sim: process %v outside Π%d", p, len(procs)))
+		}
+		pr := procs[p-1]
 		r.steps++
 		if pr.isHalted {
 			continue
@@ -88,14 +97,27 @@ func (r *Runner) stepBlock(block []procset.ID) {
 				continue
 			}
 		}
-		op := pr.next
-		pr.stepCount++
-		reg := mustRegister(op.Reg)
-		if op.Kind == OpRead {
-			r.advanceMachine(pr, reg.value)
+		var prev any
+		if pr.nextKind == OpRead {
+			prev = pr.nextReg.value
 		} else {
-			reg.value = op.Value
-			r.advanceMachine(pr, nil)
+			pr.nextReg.value = pr.nextValue
+		}
+		pr.stepCount++
+		op, ok := pr.machine.Next(prev)
+		if !ok {
+			pr.isHalted = true
+			continue
+		}
+		if op.Kind != OpRead && op.Kind != OpWrite {
+			panic(badOpKind(op.Kind))
+		}
+		pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+		if op.Kind == OpWrite {
+			// Reads leave the stale value in place rather than storing a nil
+			// interface: the read path never looks at it, and skipping the
+			// store spares a write barrier on ~¾ of all steps.
+			pr.nextValue = op.Value
 		}
 	}
 }

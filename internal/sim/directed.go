@@ -1,0 +1,116 @@
+// Directed execution: the fast path for adaptive adversaries. The batched
+// loop (batch.go) assumes the whole schedule is known ahead of the run, so
+// an observer that must *react* to executed steps — the parking adversary of
+// the Theorem 26/27 experiments — was stuck on the generic per-step path:
+// one Step call, one StepInfo materialization, and one observer dispatch per
+// step. A Director collapses that round trip: it supplies the next process
+// to schedule and is called back only on write steps, with the register
+// identified by its dense RegID instead of a name to parse. RunDirected
+// drives the director through an inlined machine-dispatch loop that
+// materializes no StepInfo at all and hoists the stop/checkEvery branching
+// out of the inner loop exactly like RunBatch.
+//
+// This mirrors the adaptive-adversary-as-scheduler framing used by
+// lower-bound executions in the literature: the adversary IS the schedule
+// source, and the simulator only owes it the write events it bases its next
+// scheduling decision on.
+
+package sim
+
+import "github.com/settimeliness/settimeliness/internal/procset"
+
+// Director adaptively drives a run: Next picks the process taking the next
+// step (the adversary's scheduling decision), and OnWrite reports every
+// executed write step — the only step kind the parking adversaries react to.
+// OnWrite runs after the write (and the writer's following local
+// computation) completed, i.e. at the point a Config.Observer would have
+// seen the step; slot is the register's dense id (see RegID and
+// Runner.RegName) and value the value written.
+//
+// Read and no-op steps produce no callback: a directed run's only per-step
+// costs beyond the batched loop are the Next dispatch and a branch.
+type Director interface {
+	Next() procset.ID
+	OnWrite(slot RegID, proc procset.ID, value any)
+}
+
+// RunDirected drives the runner with steps chosen by the director until the
+// stop predicate returns true (checked every checkEvery steps; 0 means every
+// step) or maxSteps have been executed — Run's contract with the schedule
+// source replaced by an adaptive director. Machine-mode runners without an
+// observer execute on the inlined fast loop; other configurations fall back
+// to a generic per-step loop with identical observable behavior (schedules,
+// write callbacks, stop decisions).
+func (r *Runner) RunDirected(d Director, maxSteps, checkEvery int, stop func() bool) RunResult {
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	if r.machine == nil || r.observer != nil {
+		return r.runDirectedGeneric(d, maxSteps, checkEvery, stop)
+	}
+	if r.closed {
+		panic("sim: Step after Close")
+	}
+	executed := 0
+	for executed < maxSteps {
+		// Steps until the next stop check (or the end of the run): the whole
+		// chunk executes with no predicate branching, mirroring RunBatch.
+		chunk := maxSteps - executed
+		if stop != nil && chunk > checkEvery {
+			chunk = checkEvery
+		}
+		for end := executed + chunk; executed < end; executed++ {
+			r.stepDirected(d)
+		}
+		if stop != nil && executed%checkEvery == 0 && stop() {
+			return RunResult{Steps: executed, Stopped: true}
+		}
+	}
+	return RunResult{Steps: maxSteps, Stopped: false}
+}
+
+// stepDirected executes one director-chosen step by inlined machine
+// dispatch: Step minus the StepInfo, plus the write callback.
+func (r *Runner) stepDirected(d Director) {
+	p := d.Next()
+	pr := r.procAt(p)
+	r.steps++
+	if pr.isHalted {
+		return
+	}
+	if !pr.started {
+		pr.started = true
+		r.advanceMachine(pr, nil)
+		if pr.isHalted {
+			return
+		}
+	}
+	reg := pr.nextReg
+	pr.stepCount++
+	if pr.nextKind == OpRead {
+		r.advanceMachine(pr, reg.value)
+		return
+	}
+	v := pr.nextValue
+	reg.value = v
+	r.advanceMachine(pr, nil)
+	d.OnWrite(reg.id, p, v)
+}
+
+// runDirectedGeneric is the per-step directed loop for coroutine runners and
+// observed machine runners: a full Step per schedule entry, with the write
+// callback synthesized from the StepInfo (the register id resolved through
+// the interning table, off the fast path by construction).
+func (r *Runner) runDirectedGeneric(d Director, maxSteps, checkEvery int, stop func() bool) RunResult {
+	for i := 0; i < maxSteps; i++ {
+		p := d.Next()
+		info := r.Step(p)
+		if info.Kind == OpWrite {
+			d.OnWrite(r.mem.idOf(info.Reg), p, info.Value)
+		}
+		if stop != nil && (i+1)%checkEvery == 0 && stop() {
+			return RunResult{Steps: i + 1, Stopped: true}
+		}
+	}
+	return RunResult{Steps: maxSteps, Stopped: false}
+}

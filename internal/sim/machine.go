@@ -80,25 +80,27 @@ func (r *Runner) stepMachine(pr *proc, info *StepInfo) {
 			return
 		}
 	}
-	op := pr.next
+	reg := pr.nextReg
 	pr.stepCount++
-	reg := mustRegister(op.Reg)
-	switch op.Kind {
+	switch pr.nextKind {
 	case OpRead:
 		v := reg.value
 		info.Kind, info.Reg, info.Value = OpRead, reg.name, v
 		r.advanceMachine(pr, v)
 	case OpWrite:
-		reg.value = op.Value
-		info.Kind, info.Reg, info.Value = OpWrite, reg.name, op.Value
+		v := pr.nextValue
+		reg.value = v
+		info.Kind, info.Reg, info.Value = OpWrite, reg.name, v
 		r.advanceMachine(pr, nil)
 	default:
-		panic(badOpKind(op.Kind))
+		panic(badOpKind(pr.nextKind))
 	}
 }
 
 // advanceMachine asks pr's machine for its next request, halting the process
-// when the machine is done.
+// when the machine is done. The request is stored resolved (kind, concrete
+// register, value), so the stepping loops touch no Op struct and perform no
+// type assertion per step.
 func (r *Runner) advanceMachine(pr *proc, prev any) {
 	op, ok := pr.machine.Next(prev)
 	if !ok {
@@ -111,5 +113,11 @@ func (r *Runner) advanceMachine(pr *proc, prev any) {
 	if op.Reg == nil {
 		panic("sim: Machine returned an Op with nil Reg")
 	}
-	pr.next = op
+	pr.nextKind = op.Kind
+	pr.nextReg = mustRegister(op.Reg)
+	if op.Kind == OpWrite {
+		// Reads leave the stale value in place (the read path never looks
+		// at it), sparing an interface store per read step.
+		pr.nextValue = op.Value
+	}
 }

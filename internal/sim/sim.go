@@ -126,11 +126,22 @@ type opRequest struct {
 	value any // value to write for OpWrite
 }
 
+// RegID is the dense identifier of an interned register: slot i holds the
+// i-th register interned by the runner's memory, so consumers can attach
+// per-register metadata in a plain slice instead of a name-keyed map (the
+// directed-run observers do exactly that; see consensus.Table). Identifiers
+// are stable for the lifetime of the runner, including across Reset. In
+// machine mode the interning order is the (deterministic) construction
+// order; in coroutine mode processes intern concurrently during their
+// initialization, so ids are stable within a runner but not across runners.
+type RegID int
+
 // register is one interned shared register. Its value is touched only by
 // the stepping goroutine (processes go through the runner for every memory
 // operation), so value access is lock-free.
 type register struct {
 	name  string
+	id    RegID
 	value any
 }
 
@@ -164,11 +175,32 @@ func (m *memory) reg(name string) *register {
 	defer m.mu.Unlock()
 	r, ok := m.byName[name]
 	if !ok {
-		r = &register{name: name}
+		r = &register{name: name, id: RegID(len(m.slots))}
 		m.byName[name] = r
 		m.slots = append(m.slots, r)
 	}
 	return r
+}
+
+// nameOf returns the name of the interned register with the given id.
+func (m *memory) nameOf(id RegID) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || int(id) >= len(m.slots) {
+		panic(fmt.Sprintf("sim: register id %d out of range [0,%d)", id, len(m.slots)))
+	}
+	return m.slots[id].name
+}
+
+// idOf returns the id of the interned register with the given name.
+func (m *memory) idOf(name string) RegID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: register %q was never interned", name))
+	}
+	return r.id
 }
 
 // read returns the register's current value. Stepping-goroutine only.
@@ -213,10 +245,15 @@ type proc struct {
 	// executed; it is owned by the runner goroutine.
 	pending *opRequest
 
-	// Machine (direct-dispatch) mode.
-	machine Machine
-	next    Op   // the machine's pending request (valid when started && !isHalted)
-	started bool // whether the machine's first request has been fetched
+	// Machine (direct-dispatch) mode. The pending request is held in
+	// resolved form — kind, concrete register, write value — so the hot
+	// loops neither copy an Op struct per step nor repeat the Ref type
+	// assertion (valid when started && !isHalted).
+	machine   Machine
+	nextKind  OpKind
+	nextReg   *register
+	nextValue any
+	started   bool // whether the machine's first request has been fetched
 }
 
 // procEnv implements Env for one coroutine process.
@@ -371,6 +408,11 @@ func (r *Runner) Steps() int { return r.steps }
 // runner this may exceed the count a fresh run would have created.
 func (r *Runner) Registers() int { return r.mem.size() }
 
+// RegName returns the name of the interned register with the given dense id
+// (0 ≤ id < Registers()). Directed-run observers use it to build per-slot
+// metadata tables once instead of parsing names per step.
+func (r *Runner) RegName(id RegID) string { return r.mem.nameOf(id) }
+
 // Halted reports whether the process's automaton has halted.
 func (r *Runner) Halted(p procset.ID) bool {
 	return r.procAt(p).isHalted
@@ -495,7 +537,9 @@ func (r *Runner) Reset() error {
 		p.stepCount = 0
 		p.pending = nil
 		p.machine = nil
-		p.next = Op{}
+		p.nextKind = 0
+		p.nextReg = nil
+		p.nextValue = nil
 		p.started = false
 		if err := r.start(p); err != nil {
 			return err

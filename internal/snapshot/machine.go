@@ -11,42 +11,85 @@ package snapshot
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
 
 // segName builds the register name of q's segment, shared by the coroutine
-// and machine forms so both intern the same slots.
-func segName(name string, q int) string { return fmt.Sprintf("snap[%s].seg[%d]", name, q) }
+// and machine forms so both intern the same slots. Plain concatenation: the
+// BG simulation creates snapshot objects throughout a run (one per safe
+// agreement instance), so construction sits near the hot path.
+func segName(name string, q int) string {
+	return "snap[" + name + "].seg[" + strconv.Itoa(q) + "]"
+}
 
 // MachineObject is the machine-form handle on a named snapshot object: the
 // counterpart of Object for automata executed by direct dispatch.
+//
+// A process performs at most one snapshot call at a time (its sub-automata
+// run strictly sequentially), so the handle keeps one reusable ScanMachine
+// and one reusable UpdateMachine and hands them out per call: the hot BG
+// loops allocate nothing per Scan/Update beyond the values that escape into
+// registers. At most one call (scan or update) may be in flight per handle.
 type MachineObject struct {
 	n    int
 	self procset.ID
 	segs []sim.Ref
+	// readOps[q] is the prebuilt read request for q's segment — the op every
+	// collect step returns, materialized once per (re)bind instead of per
+	// step.
+	readOps []sim.Op
+
+	scanM ScanMachine
+	updM  UpdateMachine
 }
 
 // NewMachineObject creates the handle for the snapshot object with the given
 // name. It performs no steps and interns the same registers as New.
 func NewMachineObject(regs sim.Registry, name string, self procset.ID, n int) *MachineObject {
-	o := &MachineObject{n: n, self: self, segs: make([]sim.Ref, n+1)}
-	for q := 1; q <= n; q++ {
-		o.segs[q] = regs.Reg(segName(name, q))
-	}
+	o := &MachineObject{}
+	o.Init(regs, name, self, n)
 	return o
 }
 
-// decodeSegment mirrors Object.collect's decoding: nil stands for the zero
-// segment.
-func decodeSegment(v any) segment {
-	if v == nil {
-		return segment{}
+// Init initializes o in place, for callers that embed the handle by value
+// (the BG simulation creates one safe agreement object per simulated
+// (thread, round), so handle construction sits near the hot path).
+func (o *MachineObject) Init(regs sim.Registry, name string, self procset.ID, n int) {
+	o.n, o.self = n, self
+	o.segs = make([]sim.Ref, n+1)
+	o.readOps = make([]sim.Op, n+1)
+	o.rebindRefs(regs, name)
+}
+
+// Rebind points an initialized handle at a different named object of the
+// same size, reusing every buffer (the ref slice and the cached call
+// machines). The BG simulators recycle one safe agreement handle per thread
+// this way as rounds advance, so steady-state round turnover costs only the
+// register interning the model requires.
+func (o *MachineObject) Rebind(regs sim.Registry, name string) {
+	o.rebindRefs(regs, name)
+}
+
+func (o *MachineObject) rebindRefs(regs sim.Registry, name string) {
+	for q := 1; q <= o.n; q++ {
+		o.segs[q] = regs.Reg(segName(name, q))
+		o.readOps[q] = sim.ReadOp(o.segs[q])
 	}
-	s, ok := v.(segment)
+}
+
+// decodeSegment maps a register value to its segment, shared by the
+// coroutine and machine forms: nil (never written) decodes to the zero
+// segment. Segments travel by pointer, so decoding costs no copy.
+func decodeSegment(v any) *segment {
+	s, ok := v.(*segment)
 	if !ok {
-		panic(fmt.Sprintf("snapshot: register holds %T, want segment", v))
+		if v == nil {
+			return &zeroSegment
+		}
+		panic(fmt.Sprintf("snapshot: register holds %T, want *segment", v))
 	}
 	return s
 }
@@ -54,30 +97,49 @@ func decodeSegment(v any) segment {
 // ScanMachine is one Scan call as a sub-automaton: repeated collects until
 // two agree or a doubly-moved process's embedded view can be borrowed.
 type ScanMachine struct {
-	o        *MachineObject
-	prev     []segment
-	cur      []segment
-	moved    []int
-	q        int
-	havePrev bool
-	view     View
+	o         *MachineObject
+	prev      []*segment
+	cur       []*segment
+	moved     []int
+	q         int
+	havePrev  bool
+	view      View
+	viewBuf   View // reusable direct-view buffers (see Result)
+	direct    bool // view aliases viewBuf
+	wantOwned bool // direct results must be freshly allocated (see NewScanOwned)
 }
 
-// NewScan begins a Scan call. Call Start for the first operation.
+// NewScan begins a Scan call on the handle's reusable scan machine. Call
+// Start for the first operation. The returned machine is valid until the
+// next NewScan or NewUpdate on this handle.
 func (o *MachineObject) NewScan() *ScanMachine {
-	return &ScanMachine{
-		o:     o,
-		prev:  make([]segment, o.n+1),
-		cur:   make([]segment, o.n+1),
-		moved: make([]int, o.n+1),
+	s := &o.scanM
+	if s.o == nil {
+		s.o = o
+		s.prev = make([]*segment, o.n+1)
+		s.cur = make([]*segment, o.n+1)
+		s.moved = make([]int, o.n+1)
 	}
+	s.havePrev = false
+	s.view, s.direct, s.wantOwned = View{}, false, false
+	clear(s.moved)
+	return s
+}
+
+// newScanOwned is NewScan for callers that will retain the result (the
+// update machine embeds it in the written segment): a direct result is
+// built in fresh slices up front, so ResultOwned clones nothing.
+func (o *MachineObject) newScanOwned() *ScanMachine {
+	s := o.NewScan()
+	s.wantOwned = true
+	return s
 }
 
 // Start issues the call's first operation (the first read of the initial
 // collect).
 func (s *ScanMachine) Start() sim.Op {
 	s.q = 1
-	return sim.ReadOp(s.o.segs[1])
+	return s.o.readOps[1]
 }
 
 // Feed consumes the result of the read in flight and issues the next one;
@@ -86,14 +148,14 @@ func (s *ScanMachine) Feed(prev any) (op sim.Op, hasOp bool) {
 	s.cur[s.q] = decodeSegment(prev)
 	if s.q < s.o.n {
 		s.q++
-		return sim.ReadOp(s.o.segs[s.q]), true
+		return s.o.readOps[s.q], true
 	}
 	// A full collect just completed.
 	if !s.havePrev {
 		s.havePrev = true
 		s.prev, s.cur = s.cur, s.prev
 		s.q = 1
-		return sim.ReadOp(s.o.segs[1]), true
+		return s.o.readOps[1], true
 	}
 	same := true
 	for q := 1; q <= s.o.n; q++ {
@@ -102,23 +164,51 @@ func (s *ScanMachine) Feed(prev any) (op sim.Op, hasOp bool) {
 			s.moved[q]++
 			if s.moved[q] >= 2 {
 				// q completed two Updates inside our interval; borrow its
-				// embedded view, exactly as Object.Scan does.
-				s.view = cloneView(s.cur[q].Emb)
+				// embedded view, exactly as Object.Scan does. Views are
+				// immutable once written, so no defensive clone is needed.
+				s.view, s.direct = s.cur[q].Emb, false
 				return sim.Op{}, false
 			}
 		}
 	}
 	if same {
-		s.view = directView(s.cur)
+		if s.wantOwned {
+			// The caller retains the result: build it in fresh slices.
+			s.view, s.direct = directView(s.cur), false
+			return sim.Op{}, false
+		}
+		// Fill the reusable direct-view buffers instead of allocating a
+		// fresh View per scan; Result documents the aliasing.
+		if s.viewBuf.Vals == nil {
+			s.viewBuf = View{Vals: make([]any, s.o.n+1), Seqs: make([]int, s.o.n+1)}
+		}
+		for q := 1; q <= s.o.n; q++ {
+			s.viewBuf.Vals[q] = s.cur[q].Val
+			s.viewBuf.Seqs[q] = s.cur[q].Seq
+		}
+		s.view, s.direct = s.viewBuf, true
 		return sim.Op{}, false
 	}
 	s.prev, s.cur = s.cur, s.prev
 	s.q = 1
-	return sim.ReadOp(s.o.segs[1]), true
+	return s.o.readOps[1], true
 }
 
-// Result returns the completed call's snapshot.
+// Result returns the completed call's snapshot. The returned View may alias
+// the machine's reusable buffers: it is valid (and must be treated as
+// read-only) until the next call begins on this handle. Use ResultOwned for
+// a View that outlives the handle's next call.
 func (s *ScanMachine) Result() View { return s.view }
+
+// ResultOwned returns the completed call's snapshot as an independent View,
+// cloning only when the result aliases the reusable buffers (borrowed
+// embedded views are immutable and already stable).
+func (s *ScanMachine) ResultOwned() View {
+	if s.direct {
+		return cloneView(s.view)
+	}
+	return s.view
+}
 
 // updatePhase locates an UpdateMachine's pending operation.
 type updatePhase int
@@ -138,9 +228,14 @@ type UpdateMachine struct {
 	phase updatePhase
 }
 
-// NewUpdate begins an Update(v) call. Call Start for the first operation.
+// NewUpdate begins an Update(v) call on the handle's reusable update
+// machine (whose embedded scan is the handle's reusable scan machine). Call
+// Start for the first operation. The returned machine is valid until the
+// next NewScan or NewUpdate on this handle.
 func (o *MachineObject) NewUpdate(v any) *UpdateMachine {
-	return &UpdateMachine{o: o, v: v, scan: o.NewScan()}
+	u := &o.updM
+	u.o, u.v, u.scan, u.phase = o, v, o.newScanOwned(), upScan
+	return u
 }
 
 // Start issues the call's first operation.
@@ -155,14 +250,11 @@ func (u *UpdateMachine) Feed(prev any) (op sim.Op, hasOp bool) {
 			return op, true
 		}
 		u.phase = upSelfRead
-		return sim.ReadOp(u.o.segs[u.o.self]), true
+		return u.o.readOps[u.o.self], true
 	case upSelfRead:
-		seq := 0
-		if prev != nil {
-			seq = prev.(segment).Seq
-		}
+		seq := decodeSegment(prev).Seq
 		u.phase = upWrite
-		return sim.WriteOp(u.o.segs[u.o.self], segment{Seq: seq + 1, Val: u.v, Emb: u.scan.Result()}), true
+		return sim.WriteOp(u.o.segs[u.o.self], &segment{Seq: seq + 1, Val: u.v, Emb: u.scan.ResultOwned()}), true
 	case upWrite:
 		return sim.Op{}, false
 	default:

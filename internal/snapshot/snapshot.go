@@ -11,8 +11,6 @@
 package snapshot
 
 import (
-	"fmt"
-
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
@@ -39,12 +37,20 @@ func (v View) Dominates(w View) bool {
 	return true
 }
 
-// segment is the per-process single-writer record.
+// segment is the per-process single-writer record. Registers hold segments
+// by pointer (*segment): a segment is immutable once written, and the
+// pointer form spares every collect read the copy of this three-field,
+// view-carrying struct out of the interface — the single hottest load of
+// the BG simulation.
 type segment struct {
 	Seq int  // write sequence number, 0 = never written
 	Val any  // latest written value
 	Emb View // embedded snapshot taken during the write
 }
+
+// zeroSegment stands for a register that was never written; collect decodes
+// nil to its address so readers never branch on presence.
+var zeroSegment segment
 
 // Object is one process's handle on a named snapshot object over n
 // components (one per process). Update costs the steps of a scan plus two;
@@ -67,23 +73,15 @@ func New(env sim.Env, name string) *Object {
 	return o
 }
 
-func (o *Object) collect() []segment {
-	out := make([]segment, o.n+1)
+func (o *Object) collect() []*segment {
+	out := make([]*segment, o.n+1)
 	for q := 1; q <= o.n; q++ {
-		v := o.env.Read(o.segs[q])
-		if v == nil {
-			continue
-		}
-		s, ok := v.(segment)
-		if !ok {
-			panic(fmt.Sprintf("snapshot: register holds %T, want segment", v))
-		}
-		out[q] = s
+		out[q] = decodeSegment(o.env.Read(o.segs[q]))
 	}
 	return out
 }
 
-func directView(c []segment) View {
+func directView(c []*segment) View {
 	v := View{Vals: make([]any, len(c)), Seqs: make([]int, len(c))}
 	for q := 1; q < len(c); q++ {
 		v.Vals[q] = c[q].Val
@@ -129,10 +127,6 @@ func (o *Object) Scan() View {
 // written segment so concurrent scanners can borrow it.
 func (o *Object) Update(v any) {
 	emb := o.Scan()
-	cur := o.env.Read(o.segs[o.self])
-	seq := 0
-	if cur != nil {
-		seq = cur.(segment).Seq
-	}
-	o.env.Write(o.segs[o.self], segment{Seq: seq + 1, Val: v, Emb: emb})
+	seq := decodeSegment(o.env.Read(o.segs[o.self])).Seq
+	o.env.Write(o.segs[o.self], &segment{Seq: seq + 1, Val: v, Emb: emb})
 }
