@@ -1,0 +1,118 @@
+// stm-benchgate is the CI bench-regression gate: it compares a fresh
+// `stm-bench -json` run against the committed baseline and fails on
+// regressions.
+//
+//	stm-benchgate -baseline BENCH_pr5.json -current bench.json
+//
+// CI runners are noisy, so the gate is deliberately generous: an experiment
+// fails only when it no longer reproduces (pass == false), disappears from
+// the run, or its elapsed time exceeds tolerance × its baseline time
+// (default 2×) — and sub-floor baselines (default 10ms) are measured
+// against the floor instead, so micro-experiments cannot trip the gate on
+// scheduling jitter. Every comparison is printed, so the uploaded artifact
+// doubles as a perf-trajectory record.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// record mirrors stm-bench's -json output line.
+type record struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	Pass      bool   `json:"pass"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed baseline JSON (stm-bench -json output)")
+		current   = flag.String("current", "", "fresh run JSON to gate")
+		tolerance = flag.Float64("tolerance", 2.0, "fail when current > tolerance × baseline")
+		floor     = flag.Duration("floor", 10*time.Millisecond, "baselines below this compare against the floor instead")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "stm-benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *baseline, *current, *tolerance, *floor); err != nil {
+		fmt.Fprintf(os.Stderr, "stm-benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]record, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs, order := make(map[string]record), []string(nil)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if _, dup := recs[r.ID]; !dup {
+			order = append(order, r.ID)
+		}
+		recs[r.ID] = r
+	}
+	return recs, order, sc.Err()
+}
+
+func run(w io.Writer, basePath, curPath string, tolerance float64, floor time.Duration) error {
+	base, order, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, _, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for _, id := range order {
+		b := base[id]
+		c, ok := cur[id]
+		switch {
+		case !ok:
+			failures++
+			fmt.Fprintf(w, "FAIL %-3s missing from current run\n", id)
+			continue
+		case !c.Pass:
+			failures++
+			fmt.Fprintf(w, "FAIL %-3s no longer reproduces\n", id)
+			continue
+		}
+		ref := b.ElapsedNS
+		if ref < int64(floor) {
+			ref = int64(floor)
+		}
+		ratio := float64(c.ElapsedNS) / float64(ref)
+		verdict := "ok  "
+		if ratio > tolerance {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "%s %-3s baseline %8.1fms current %8.1fms ratio %.2fx (limit %.2fx)\n",
+			verdict, id, float64(b.ElapsedNS)/1e6, float64(c.ElapsedNS)/1e6, ratio, tolerance)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) regressed past the gate", failures)
+	}
+	fmt.Fprintln(w, "bench gate clean")
+	return nil
+}

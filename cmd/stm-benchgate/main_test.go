@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseline = `{"id":"E1","pass":true,"elapsed_ns":100000}
+{"id":"E4","pass":true,"elapsed_ns":40000000}
+{"id":"E8","pass":true,"elapsed_ns":15000000}
+`
+
+func TestGateClean(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	// E1 is far below the floor (jitter must not trip the gate); E4 improved;
+	// E8 regressed but within 2×.
+	c := write(t, dir, "cur.json", `{"id":"E1","pass":true,"elapsed_ns":9000000}
+{"id":"E4","pass":true,"elapsed_ns":30000000}
+{"id":"E8","pass":true,"elapsed_ns":26000000}
+`)
+	var sb strings.Builder
+	if err := run(&sb, b, c, 2.0, 10_000_000); err != nil {
+		t.Fatalf("clean comparison failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	// E4 at >2× its baseline: the synthetic regression the gate must catch.
+	c := write(t, dir, "cur.json", `{"id":"E1","pass":true,"elapsed_ns":100000}
+{"id":"E4","pass":true,"elapsed_ns":90000000}
+{"id":"E8","pass":true,"elapsed_ns":15000000}
+`)
+	var sb strings.Builder
+	err := run(&sb, b, c, 2.0, 10_000_000)
+	if err == nil {
+		t.Fatalf("gate passed a 2.25x regression:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL E4") {
+		t.Fatalf("gate did not name E4:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsOnLostReproduction(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	c := write(t, dir, "cur.json", `{"id":"E1","pass":true,"elapsed_ns":100000}
+{"id":"E4","pass":false,"elapsed_ns":40000000}
+{"id":"E8","pass":true,"elapsed_ns":15000000}
+`)
+	var sb strings.Builder
+	if err := run(&sb, b, c, 2.0, 10_000_000); err == nil {
+		t.Fatal("gate passed a failing experiment")
+	}
+}
+
+func TestGateFailsOnMissingExperiment(t *testing.T) {
+	dir := t.TempDir()
+	b := write(t, dir, "base.json", baseline)
+	c := write(t, dir, "cur.json", `{"id":"E1","pass":true,"elapsed_ns":100000}
+{"id":"E8","pass":true,"elapsed_ns":15000000}
+`)
+	var sb strings.Builder
+	if err := run(&sb, b, c, 2.0, 10_000_000); err == nil {
+		t.Fatal("gate passed with E4 missing")
+	}
+}

@@ -58,6 +58,9 @@ type MachineInstance struct {
 	// the exact point the coroutine Detector publishes. The Detector wires
 	// its publication here.
 	onIterate func(*MachineInstance)
+
+	// opBuf is the stable storage behind NextOp's non-table operations.
+	opBuf sim.Op
 }
 
 // NewMachineInstance builds the machine for one process and interns its
@@ -87,37 +90,44 @@ func NewMachineInstance(cfg Config, self procset.ID, regs sim.Registry) (*Machin
 	return m, nil
 }
 
-// Next implements sim.Machine: consume the result of the operation in
-// flight, run the local computation that follows it in Figure 2, and issue
-// the next operation.
+// Next implements sim.Machine; the runner prefers the pointer form below.
 func (m *MachineInstance) Next(prev any) (sim.Op, bool) {
+	return *m.NextOp(prev), true // the detector never halts
+}
+
+// NextOp implements sim.PtrMachine, the detector's native form: the counter
+// collect — the dominant phase of every iteration — returns pointers into
+// the precomputed op table; the remaining transitions come from the
+// heartbeat table or land in opBuf. No Op is copied anywhere on the hot
+// path.
+func (m *MachineInstance) NextOp(prev any) *sim.Op {
 	if m.phase == phaseCounters && m.primed {
-		// Counter collect, duplicated from FeedIteration: the dominant
+		// Counter collect, duplicated from FeedIterationOp: the dominant
 		// phase of every iteration runs here without the extra call frame
-		// (FeedIteration is beyond the inliner's budget).
+		// (FeedIterationOp is beyond the inliner's budget).
 		m.cnt[m.cntIdx[m.k]] = asInt(prev)
 		m.k++
 		if m.k < len(m.counterOps) {
-			return m.counterOps[m.k], true
+			return &m.counterOps[m.k]
 		}
 		m.chooseWinner()
 		m.myHb++
 		m.phase = phaseHeartbeatWrite
-		return sim.WriteOp(m.hbRefs[m.self], m.myHb), true
+		m.opBuf = sim.WriteOp(m.hbRefs[m.self], m.myHb)
+		return &m.opBuf
 	}
 	if !m.primed {
 		// First activation: issue the first counter read of iteration one.
 		m.primed = true
-		return m.BeginIteration(), true
+		return m.BeginIterationOp()
 	}
-	op, done := m.FeedIteration(prev)
-	if !done {
-		return op, true
+	if op := m.FeedIterationOp(prev); op != nil {
+		return op
 	}
 	if m.onIterate != nil {
 		m.onIterate(m)
 	}
-	return m.BeginIteration(), true
+	return m.BeginIterationOp()
 }
 
 // BeginIteration starts one Figure 2 iteration as a composable sub-automaton
@@ -126,9 +136,13 @@ func (m *MachineInstance) Next(prev any) (sim.Op, bool) {
 // composite automata (the kset agreement machine) interleave iterations with
 // their own operations exactly as coroutine code interleaves Iterate calls
 // with other sub-protocols of the same process.
-func (m *MachineInstance) BeginIteration() sim.Op {
+func (m *MachineInstance) BeginIteration() sim.Op { return *m.BeginIterationOp() }
+
+// BeginIterationOp is BeginIteration in the pointer-op form composite
+// machines step through (see sim.PtrMachine for the aliasing contract).
+func (m *MachineInstance) BeginIterationOp() *sim.Op {
 	m.phase, m.k = phaseCounters, 0
-	return m.counterOps[0]
+	return &m.counterOps[0]
 }
 
 // FeedIteration consumes the result of the iteration operation in flight and
@@ -138,6 +152,16 @@ func (m *MachineInstance) BeginIteration() sim.Op {
 // issue their own operations or call BeginIteration again; the per-iteration
 // operation stream is op-for-op that of Instance.Iterate either way.
 func (m *MachineInstance) FeedIteration(prev any) (op sim.Op, done bool) {
+	p := m.FeedIterationOp(prev)
+	if p == nil {
+		return sim.Op{}, true
+	}
+	return *p, false
+}
+
+// FeedIterationOp is FeedIteration in the pointer-op form composite
+// machines step through; nil closes the iteration.
+func (m *MachineInstance) FeedIterationOp(prev any) *sim.Op {
 	// Counter collect first, outside the switch: the dominant phase of
 	// every iteration — and of every composite machine built on this one —
 	// pays one flat store, one cursor bump, and one table load.
@@ -145,24 +169,25 @@ func (m *MachineInstance) FeedIteration(prev any) (op sim.Op, done bool) {
 		m.cnt[m.cntIdx[m.k]] = asInt(prev)
 		m.k++
 		if m.k < len(m.counterOps) {
-			return m.counterOps[m.k], false
+			return &m.counterOps[m.k]
 		}
 		// All counters collected: lines 4–5 locally, then lines 6–7.
 		m.chooseWinner()
 		m.myHb++
 		m.phase = phaseHeartbeatWrite
-		return sim.WriteOp(m.hbRefs[m.self], m.myHb), false
+		m.opBuf = sim.WriteOp(m.hbRefs[m.self], m.myHb)
+		return &m.opBuf
 	}
 	n := m.cfg.N
 	switch m.phase {
 	case phaseHeartbeatWrite:
 		m.phase, m.q = phaseHeartbeats, 1
-		return m.hbReadOps[0], false
+		return &m.hbReadOps[0]
 	case phaseHeartbeats:
 		m.noteHeartbeat(m.q, asInt(prev))
 		if m.q < n {
 			m.q++
-			return m.hbReadOps[m.q-1], false
+			return &m.hbReadOps[m.q-1]
 		}
 		m.phase, m.ai = phaseExpiry, -1
 		return m.nextExpiry()
@@ -175,14 +200,15 @@ func (m *MachineInstance) FeedIteration(prev any) (op sim.Op, done bool) {
 
 // nextExpiry scans lines 14–19 from the set after the one whose accusation
 // write just landed, returning the next expiry write — or, when every timer
-// has been ticked, closing the iteration.
-func (m *MachineInstance) nextExpiry() (sim.Op, bool) {
+// has been ticked, closing the iteration (nil).
+func (m *MachineInstance) nextExpiry() *sim.Op {
 	for ai := m.ai + 1; ai < len(m.subsets); ai++ {
 		if m.tickTimer(ai) {
 			m.ai = ai
-			return sim.WriteOp(m.counterRefs[ai][m.self], m.cntRow(ai)[m.self]+1), false
+			m.opBuf = sim.WriteOp(m.counterRefs[ai][m.self], m.cntRow(ai)[m.self]+1)
+			return &m.opBuf
 		}
 	}
 	m.iterations++
-	return sim.Op{}, true
+	return nil
 }

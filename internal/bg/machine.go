@@ -24,6 +24,9 @@ type SafeAgreementMachine struct {
 	snap     snapshot.MachineObject
 	n        int
 	proposed bool
+	// shared is the runner's BG recycling state; nil on allocate-per-write
+	// runners, where proposals are written as plain saEntry values.
+	shared *bgShared
 
 	// Reusable call machines: a process runs at most one propose or resolve
 	// call on this object at a time, so the hot simulator loop allocates
@@ -43,12 +46,28 @@ func NewSafeAgreementMachine(regs sim.Registry, name string, self procset.ID, n 
 	return sa
 }
 
+// newSafeAgreementMachineShared creates the handle over prebuilt shared
+// register refs (the simulator's (thread, round) cache) on a recycled
+// runner: no name is built and nothing is interned.
+func newSafeAgreementMachineShared(sh *bgShared, self procset.ID, n int, segs []sim.Ref, readOps []sim.Op) *SafeAgreementMachine {
+	sa := &SafeAgreementMachine{n: n, shared: sh}
+	sa.snap.InitShared(sh.arena, self, n, segs, readOps)
+	return sa
+}
+
 // Rebind points the handle at a different named object of the same size,
 // reusing all buffers and resetting the doorway state. The simulator
 // machine recycles one handle per simulated thread as rounds advance.
 func (sa *SafeAgreementMachine) Rebind(regs sim.Registry, name string) {
 	sa.proposed = false
 	sa.snap.Rebind(regs, "sa."+name)
+}
+
+// rebindShared is Rebind through prebuilt shared refs: no naming, no
+// interning.
+func (sa *SafeAgreementMachine) rebindShared(segs []sim.Ref, readOps []sim.Op) {
+	sa.proposed = false
+	sa.snap.RebindShared(segs, readOps)
 }
 
 // Proposed reports whether this process already entered the doorway.
@@ -77,51 +96,82 @@ type SAProposeMachine struct {
 // machine. Start issues the first operation; hasOp == false means the call
 // completed without steps (the process had already proposed, matching
 // SafeAgreement.Propose's early return). The returned machine is valid
-// until the next NewPropose or NewResolve on this object.
+// until the next NewPropose or NewResolve on this object. On a recycled
+// runner the call takes ownership of one reference to v if it is a leased
+// view, released when the call completes (or immediately on the early
+// return).
 func (sa *SafeAgreementMachine) NewPropose(v any) *SAProposeMachine {
 	p := &sa.propM
 	p.sa, p.v, p.phase, p.upd, p.scan = sa, v, sapEnter, nil, nil
 	return p
 }
 
-// Start issues the call's first operation.
-func (p *SAProposeMachine) Start() (op sim.Op, hasOp bool) {
+// entry builds the level-carrying register value for the proposal: a leased
+// saBox (retaining the proposal view) on a recycled runner, the plain
+// saEntry otherwise.
+func (p *SAProposeMachine) entry(level int) any {
+	if sh := p.sa.shared; sh != nil {
+		if vb, ok := p.v.(*viewBox); ok {
+			return sh.newSA(level, vb)
+		}
+	}
+	return saEntry{Level: level, Val: p.v}
+}
+
+// releaseOwned drops the call's creator reference on a leased proposal view.
+func (p *SAProposeMachine) releaseOwned() {
+	if vb, ok := p.v.(*viewBox); ok {
+		vb.Release()
+		p.v = nil
+	}
+}
+
+// Start issues the call's first operation; nil means the call completed
+// without steps (the process had already proposed).
+func (p *SAProposeMachine) Start() *sim.Op {
 	if p.sa.proposed {
-		return sim.Op{}, false
+		p.releaseOwned()
+		return nil
 	}
 	p.sa.proposed = true
-	p.upd = p.sa.snap.NewUpdate(saEntry{Level: saUnsafe, Val: p.v})
-	return p.upd.Start(), true
+	p.upd = p.sa.snap.NewUpdate(p.entry(saUnsafe))
+	return p.upd.Start()
 }
 
 // Feed consumes the result of the operation in flight and issues the next
-// one; hasOp == false completes the call.
-func (p *SAProposeMachine) Feed(prev any) (op sim.Op, hasOp bool) {
+// one; nil completes the call.
+func (p *SAProposeMachine) Feed(prev any) *sim.Op {
 	switch p.phase {
 	case sapEnter:
-		if op, hasOp := p.upd.Feed(prev); hasOp {
-			return op, true
+		if op := p.upd.Feed(prev); op != nil {
+			return op
 		}
 		p.phase = sapScan
 		p.scan = p.sa.snap.NewScan()
-		return p.scan.Start(), true
+		return p.scan.Start()
 	case sapScan:
-		if op, hasOp := p.scan.Feed(prev); hasOp {
-			return op, true
+		if op := p.scan.Feed(prev); op != nil {
+			return op
 		}
 		view := p.scan.Result()
 		level := saSafe
 		for q := 1; q <= p.sa.n; q++ {
-			if e, ok := view.Get(procset.ID(q)).(saEntry); ok && e.Level == saSafe {
+			if lv, _, ok := saEntryOf(view.Get(procset.ID(q))); ok && lv == saSafe {
 				level = saBackedOff
 				break
 			}
 		}
 		p.phase = sapPublish
-		p.upd = p.sa.snap.NewUpdate(saEntry{Level: level, Val: p.v})
-		return p.upd.Start(), true
+		p.upd = p.sa.snap.NewUpdate(p.entry(level))
+		return p.upd.Start()
 	case sapPublish:
-		return p.upd.Feed(prev)
+		op := p.upd.Feed(prev)
+		if op == nil {
+			// The level-fixing publish executed: every stored copy of the
+			// proposal holds its own reference now, so the creator's is done.
+			p.releaseOwned()
+		}
+		return op
 	default:
 		panic(fmt.Sprintf("bg: invalid propose phase %d", p.phase))
 	}
@@ -145,24 +195,24 @@ func (sa *SafeAgreementMachine) NewResolve() *SAResolveMachine {
 }
 
 // Start issues the call's first operation.
-func (r *SAResolveMachine) Start() sim.Op { return r.scan.Start() }
+func (r *SAResolveMachine) Start() *sim.Op { return r.scan.Start() }
 
 // Feed consumes the result of the operation in flight and issues the next
-// one; hasOp == false completes the call (see Result).
-func (r *SAResolveMachine) Feed(prev any) (op sim.Op, hasOp bool) {
-	if op, hasOp := r.scan.Feed(prev); hasOp {
-		return op, true
+// one; nil completes the call (see Result).
+func (r *SAResolveMachine) Feed(prev any) *sim.Op {
+	if op := r.scan.Feed(prev); op != nil {
+		return op
 	}
 	view := r.scan.Result()
 	choice := 0
 	for q := 1; q <= r.sa.n; q++ {
-		e, ok := view.Get(procset.ID(q)).(saEntry)
+		lv, _, ok := saEntryOf(view.Get(procset.ID(q)))
 		if !ok {
 			continue
 		}
-		switch e.Level {
+		switch lv {
 		case saUnsafe:
-			return sim.Op{}, false
+			return nil
 		case saSafe:
 			if choice == 0 {
 				choice = q
@@ -170,12 +220,16 @@ func (r *SAResolveMachine) Feed(prev any) (op sim.Op, hasOp bool) {
 		}
 	}
 	if choice != 0 {
-		r.val, r.ok = view.Get(procset.ID(choice)).(saEntry).Val, true
+		_, val, _ := saEntryOf(view.Get(procset.ID(choice)))
+		r.val, r.ok = val, true
 	}
-	return sim.Op{}, false
+	return nil
 }
 
-// Result returns the agreed value, if the object resolved.
+// Result returns the agreed value, if the object resolved. On a recycled
+// runner the value is borrowed, not retained: consume it within the machine
+// step that completed the resolve (the simulator does — it folds the agreed
+// view into local state before returning from Next).
 func (r *SAResolveMachine) Result() (any, bool) { return r.val, r.ok }
 
 // subKind says which sub-automaton of the simulator loop owns the operation
@@ -198,6 +252,10 @@ type simMachine struct {
 	regs sim.Registry
 	n    int // simulated threads
 	mem  *snapshot.MachineObject
+	// shared is the runner-scoped recycling state (payload pools + the
+	// (thread, round) register cache); nil on allocate-per-write runners,
+	// where the machine publishes plain View copies exactly like Algorithm.
+	shared *bgShared
 	// Safe agreement handles, one recycled per thread: this simulator only
 	// ever works on a thread's current round (rounds advance monotonically
 	// and old rounds are never revisited by the same simulator), so each
@@ -231,6 +289,7 @@ func (s *Simulation) Machine(p procset.ID, regs sim.Registry) sim.Machine {
 		regs:    regs,
 		n:       n,
 		mem:     snapshot.NewMachineObject(regs, "bg.mem", p, s.m),
+		shared:  bgSharedFor(regs, n, s.m),
 		sas:     make([]*SafeAgreementMachine, n+1),
 		saRound: make([]int, n+1),
 		know:    make(View, n+1),
@@ -248,6 +307,22 @@ func (s *Simulation) Machine(p procset.ID, regs sim.Registry) sim.Machine {
 }
 
 func (m *simMachine) saFor(i, r int) *SafeAgreementMachine {
+	if sh := m.shared; sh != nil {
+		// Recycled runner: bind through the shared (thread, round) register
+		// cache — only the first simulator to reach a round interns anything.
+		switch {
+		case m.sas[i] == nil:
+			segs, ops := sh.saRefsFor(m.regs, i, r)
+			m.sas[i] = newSafeAgreementMachineShared(sh, m.self, m.s.m, segs, ops)
+		case m.saRound[i] != r:
+			segs, ops := sh.saRefsFor(m.regs, i, r)
+			m.sas[i].rebindShared(segs, ops)
+		default:
+			return m.sas[i]
+		}
+		m.saRound[i] = r
+		return m.sas[i]
+	}
 	switch {
 	case m.sas[i] == nil:
 		m.sas[i] = NewSafeAgreementMachine(m.regs, saName(i, r), m.self, m.s.m)
@@ -264,7 +339,7 @@ func (m *simMachine) saFor(i, r int) *SafeAgreementMachine {
 // all simulators' published views (the machine twin of Algorithm's absorb).
 func (m *simMachine) absorb(v snapshot.View) {
 	for q := 1; q <= m.s.m; q++ {
-		other, ok := v.Get(procset.ID(q)).(View)
+		other, ok := asView(v.Get(procset.ID(q)))
 		if !ok {
 			continue
 		}
@@ -276,48 +351,76 @@ func (m *simMachine) absorb(v snapshot.View) {
 	}
 }
 
+// knowCopy builds the payload publishing m.know: a leased box on a recycled
+// runner (the copy the model requires lands in recycled memory), a fresh
+// View otherwise.
+func (m *simMachine) knowCopy() any {
+	if m.shared != nil {
+		return m.shared.newView(m.know)
+	}
+	cp := make(View, len(m.know))
+	copy(cp, m.know)
+	return cp
+}
+
 // Next implements sim.Machine: feed the operation result to the sub-automaton
 // in flight, then advance the thread pass until the next operation — or halt
-// when a full pass finds every thread decided.
+// when a full pass finds every thread decided. Internally operations travel
+// as pointers into the sub-automata's stable storage; the single value copy
+// the sim.Machine contract requires happens here.
 func (m *simMachine) Next(prev any) (sim.Op, bool) {
+	if op := m.next(prev); op != nil {
+		return *op, true
+	}
+	return sim.Op{}, false
+}
+
+// NextOp implements sim.PtrMachine: the simulator's native form — the
+// runner consumes the pointed-to op before the next step, so no copy is
+// needed at all.
+func (m *simMachine) NextOp(prev any) *sim.Op { return m.next(prev) }
+
+func (m *simMachine) next(prev any) *sim.Op {
 	if !m.started {
 		m.started = true
 		return m.pump()
 	}
 	switch m.sub {
 	case subPublish:
-		if op, hasOp := m.upd.Feed(prev); hasOp {
-			return op, true
+		if op := m.upd.Feed(prev); op != nil {
+			return op
 		}
 		m.sub = subAbsorb
 		m.scan = m.mem.NewScan()
-		return m.scan.Start(), true
+		return m.scan.Start()
 	case subAbsorb:
-		if op, hasOp := m.scan.Feed(prev); hasOp {
-			return op, true
+		if op := m.scan.Feed(prev); op != nil {
+			return op
 		}
 		m.absorb(m.scan.Result())
-		merged := make(View, len(m.know))
-		copy(merged, m.know)
-		m.prop = m.saFor(m.i, m.round[m.i]).NewPropose(merged)
-		if op, hasOp := m.prop.Start(); hasOp {
+		m.prop = m.saFor(m.i, m.round[m.i]).NewPropose(m.knowCopy())
+		if op := m.prop.Start(); op != nil {
 			m.sub = subPropose
-			return op, true
+			return op
 		}
 		m.phase[m.i] = phaseResolve
 		return m.startResolve()
 	case subPropose:
-		if op, hasOp := m.prop.Feed(prev); hasOp {
-			return op, true
+		if op := m.prop.Feed(prev); op != nil {
+			return op
 		}
 		m.phase[m.i] = phaseResolve
 		return m.startResolve()
 	case subResolve:
-		if op, hasOp := m.resv.Feed(prev); hasOp {
-			return op, true
+		if op := m.resv.Feed(prev); op != nil {
+			return op
 		}
 		if agreed, ok := m.resv.Result(); ok {
-			m.resolveThread(agreed.(View))
+			view, ok := asView(agreed)
+			if !ok {
+				panic(fmt.Sprintf("bg: agreed value is %T, want a simulated view", agreed))
+			}
+			m.resolveThread(view)
 		}
 		// Blocked or resolved either way, the pass moves to the next thread.
 		m.i++
@@ -345,24 +448,27 @@ func (m *simMachine) resolveThread(view View) {
 		return
 	}
 	m.round[i]++
+	if m.shared != nil {
+		m.shared.advanceRound(m.self, i, m.round[i])
+	}
 	m.phase[i] = phaseWrite
 }
 
 // startResolve begins the safe agreement resolution for thread m.i.
-func (m *simMachine) startResolve() (sim.Op, bool) {
+func (m *simMachine) startResolve() *sim.Op {
 	m.resv = m.saFor(m.i, m.round[m.i]).NewResolve()
 	m.sub = subResolve
-	return m.resv.Start(), true
+	return m.resv.Start()
 }
 
 // pump advances the thread pass over purely local work until a sub-automaton
 // issues an operation, or halts the machine when a full pass finds every
 // thread decided.
-func (m *simMachine) pump() (sim.Op, bool) {
+func (m *simMachine) pump() *sim.Op {
 	for {
 		if m.i > m.n {
 			if m.allDone {
-				return sim.Op{}, false
+				return nil
 			}
 			m.i, m.allDone = 1, true
 		}
@@ -376,11 +482,9 @@ func (m *simMachine) pump() (sim.Op, bool) {
 			if m.know[i].Round < m.round[i] {
 				m.know[i] = Entry{Round: m.round[i], Val: wv}
 			}
-			cp := make(View, len(m.know))
-			copy(cp, m.know)
-			m.upd = m.mem.NewUpdate(cp)
+			m.upd = m.mem.NewUpdate(m.knowCopy())
 			m.sub = subPublish
-			return m.upd.Start(), true
+			return m.upd.Start()
 		case phaseResolve:
 			m.allDone = false
 			return m.startResolve()

@@ -176,3 +176,105 @@ func TestSimulationMachineResetDeterminism(t *testing.T) {
 		sameBGSnapshot(t, fmt.Sprintf("fresh vs reuse round %d", round), fresh, reused)
 	}
 }
+
+// snapshotSimulationRecycled runs the machine simulation with no observer —
+// the recycled configuration (epoch arena, leased views, register-group
+// reuse) — and harvests the harness-visible outcome. There is no StepInfo
+// stream to compare on this path; the observable contract is the harness
+// state, which must match the observed (allocate-per-write) run bit for
+// bit.
+func snapshotSimulationRecycled(t *testing.T, m, threads int, s sched.Schedule) bgSnapshot {
+	t.Helper()
+	simn, err := New(m, newWaitMin(t, threads, m-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(sim.Config{N: m, Machine: simn.Machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(s)
+	var snap bgSnapshot
+	return harvest(&snap, simn, m, threads)
+}
+
+// sameBGOutcome compares everything but the traces (the recycled path has
+// none).
+func sameBGOutcome(t *testing.T, label string, a, b bgSnapshot) {
+	t.Helper()
+	a.trace, b.trace = nil, nil
+	sameBGSnapshot(t, label, a, b)
+}
+
+// TestSimulationMachineRecycledMatchesObserved pins that the recycler is a
+// pure memory-plane change: the recycled run (no observer — arena, leased
+// views, register groups) reaches exactly the observed run's thread
+// decisions, adoptions, resolutions, and simulated schedules, across crash
+// patterns.
+func TestSimulationMachineRecycledMatchesObserved(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name       string
+		m, threads int
+		seed       int64
+		steps      int
+		crashes    map[procset.ID]int
+	}{
+		{"m2t3", 2, 3, 5, 30_000, nil},
+		{"m3t5", 3, 5, 77, 60_000, nil},
+		{"m3t5-crashes", 3, 5, 77, 60_000, map[procset.ID]int{1: 300, 3: 800}},
+		{"m4t4", 4, 4, 9, 40_000, map[procset.ID]int{2: 0}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			src, err := sched.Random(tc.m, tc.seed, tc.crashes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sched.Take(src, tc.steps)
+			observed := snapshotSimulation(t, tc.m, tc.threads, s, true)
+			recycled := snapshotSimulationRecycled(t, tc.m, tc.threads, s)
+			sameBGOutcome(t, tc.name, observed, recycled)
+		})
+	}
+}
+
+// TestSimulationMachineRecycledResetReuse pins the pooled recycled path: a
+// recycled runner stopped mid-run, Reset, and replayed in full must match a
+// fresh recycled run — the campaign pool's exact reuse pattern, with the
+// arena and register-group pool bulk-recycling across jobs.
+func TestSimulationMachineRecycledResetReuse(t *testing.T) {
+	t.Parallel()
+	const m, threads = 3, 5
+	src, err := sched.Random(m, 13, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.Take(src, 40_000)
+	fresh := snapshotSimulationRecycled(t, m, threads, s)
+
+	simn, err := New(m, newWaitMin(t, threads, m-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(sim.Config{N: m, Machine: simn.Machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Leave the first job stopped mid-run, scans in flight.
+	r.RunSchedule(s[:4321])
+	for round := 0; round < 2; round++ {
+		simn.Reset()
+		if err := r.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		r.RunSchedule(s)
+		var snap bgSnapshot
+		reused := harvest(&snap, simn, m, threads)
+		sameBGOutcome(t, fmt.Sprintf("fresh vs reuse round %d", round), fresh, reused)
+	}
+}

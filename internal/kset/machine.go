@@ -115,6 +115,7 @@ type detectorMachine struct {
 	phase  dmPhase
 	r      int         // instance cursor within the probe/lead sweeps
 	w      procset.Set // winnerset captured after the latest iteration
+	opBuf  sim.Op      // stable storage behind consensus sub-automaton ops
 }
 
 func newDetectorMachine(a *Agreement, p procset.ID, v any, regs sim.Registry) *detectorMachine {
@@ -141,39 +142,49 @@ func newDetectorMachine(a *Agreement, p procset.ID, v any, regs sim.Registry) *d
 // next operation — or a decision, which halts the automaton exactly where
 // the coroutine form returns.
 func (m *detectorMachine) Next(prev any) (sim.Op, bool) {
+	if op := m.NextOp(prev); op != nil {
+		return *op, true
+	}
+	return sim.Op{}, false
+}
+
+// NextOp implements sim.PtrMachine, the composition's native form: detector
+// iterations run on the antiomega op tables end to end, and only the
+// consensus sub-automaton ops (the minority of steps) land in opBuf. nil
+// halts on decision, exactly where the coroutine form returns.
+func (m *detectorMachine) NextOp(prev any) *sim.Op {
 	if !m.primed {
 		m.primed = true
 		m.phase = dmFD
-		return m.fd.BeginIteration(), true
+		return m.fd.BeginIterationOp()
 	}
 	switch m.phase {
 	case dmFD:
-		op, done := m.fd.FeedIteration(prev)
-		if !done {
-			return op, true
+		if op := m.fd.FeedIterationOp(prev); op != nil {
+			return op
 		}
 		m.w = m.fd.Winnerset()
 		m.r = 0
 		return m.startChecks()
 	case dmCheck:
-		op, hasOp := m.cons[m.r].Feed(prev)
-		if hasOp {
-			return op, true
+		if op, hasOp := m.cons[m.r].Feed(prev); hasOp {
+			m.opBuf = op
+			return &m.opBuf
 		}
 		if d, ok := m.cons[m.r].Result(); ok {
 			m.ag.decide(m.self, d)
-			return sim.Op{}, false
+			return nil
 		}
 		m.r++
 		return m.startChecks()
 	case dmLead:
-		op, hasOp := m.cons[m.r].Feed(prev)
-		if hasOp {
-			return op, true
+		if op, hasOp := m.cons[m.r].Feed(prev); hasOp {
+			m.opBuf = op
+			return &m.opBuf
 		}
 		if d, ok := m.cons[m.r].Result(); ok {
 			m.ag.decide(m.self, d)
-			return sim.Op{}, false
+			return nil
 		}
 		m.r++
 		return m.startLeads()
@@ -184,16 +195,17 @@ func (m *detectorMachine) Next(prev any) (sim.Op, bool) {
 
 // startChecks probes the decision state of instances m.r.. in the fixed
 // order of the coroutine loop, then moves on to the lead sweep.
-func (m *detectorMachine) startChecks() (sim.Op, bool) {
+func (m *detectorMachine) startChecks() *sim.Op {
 	for ; m.r < m.dk; m.r++ {
 		op, hasOp := m.cons[m.r].StartCheck()
 		if hasOp {
 			m.phase = dmCheck
-			return op, true
+			m.opBuf = op
+			return &m.opBuf
 		}
 		if d, ok := m.cons[m.r].Result(); ok {
 			m.ag.decide(m.self, d)
-			return sim.Op{}, false
+			return nil
 		}
 	}
 	m.r = 0
@@ -202,7 +214,7 @@ func (m *detectorMachine) startChecks() (sim.Op, bool) {
 
 // startLeads attempts the instances from m.r on whose winnerset slot this
 // process sits, then loops back to the next detector iteration.
-func (m *detectorMachine) startLeads() (sim.Op, bool) {
+func (m *detectorMachine) startLeads() *sim.Op {
 	for ; m.r < m.dk; m.r++ {
 		if m.w.Nth(m.r) != m.self {
 			continue
@@ -210,13 +222,14 @@ func (m *detectorMachine) startLeads() (sim.Op, bool) {
 		op, hasOp := m.cons[m.r].StartAttempt(m.v)
 		if hasOp {
 			m.phase = dmLead
-			return op, true
+			m.opBuf = op
+			return &m.opBuf
 		}
 		if d, ok := m.cons[m.r].Result(); ok {
 			m.ag.decide(m.self, d)
-			return sim.Op{}, false
+			return nil
 		}
 	}
 	m.phase = dmFD
-	return m.fd.BeginIteration(), true
+	return m.fd.BeginIterationOp()
 }

@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"github.com/settimeliness/settimeliness/internal/procset"
 )
@@ -32,7 +32,7 @@ func Weighted(n int, seed int64, weights map[procset.ID]float64, crashAfter map[
 		weights:    make([]float64, n),
 		crashAfter: crashAfter,
 		taken:      make(map[procset.ID]int, len(crashAfter)),
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        newRand(seed),
 	}
 	for i := 0; i < n; i++ {
 		wt, ok := weights[procset.ID(i+1)]

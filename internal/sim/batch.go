@@ -104,6 +104,23 @@ func (r *Runner) stepBlock(block []procset.ID) {
 			pr.nextReg.value = pr.nextValue
 		}
 		pr.stepCount++
+		if pm := pr.ptrMachine; pm != nil {
+			// Pointer-op machines hand back a pointer into their own stable
+			// storage: no five-word Op copy across the dispatch boundary.
+			op := pm.NextOp(prev)
+			if op == nil {
+				pr.isHalted = true
+				continue
+			}
+			if op.Kind != OpRead && op.Kind != OpWrite {
+				panic(badOpKind(op.Kind))
+			}
+			pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+			if op.Kind == OpWrite {
+				pr.nextValue = op.Value
+			}
+			continue
+		}
 		op, ok := pr.machine.Next(prev)
 		if !ok {
 			pr.isHalted = true

@@ -70,7 +70,10 @@ func (r *Runner) RunDirected(d Director, maxSteps, checkEvery int, stop func() b
 }
 
 // stepDirected executes one director-chosen step by inlined machine
-// dispatch: Step minus the StepInfo, plus the write callback.
+// dispatch: Step minus the StepInfo, plus the write callback. Like
+// stepBlock, the machine-advance bookkeeping is spelled out in the body —
+// the advanceMachine call (and the Op struct copy through it) is measurable
+// at the adversarial campaigns' throughput.
 func (r *Runner) stepDirected(d Director) {
 	p := d.Next()
 	pr := r.procAt(p)
@@ -87,14 +90,41 @@ func (r *Runner) stepDirected(d Director) {
 	}
 	reg := pr.nextReg
 	pr.stepCount++
-	if pr.nextKind == OpRead {
-		r.advanceMachine(pr, reg.value)
-		return
+	var prev, wrote any
+	isWrite := pr.nextKind == OpWrite
+	if isWrite {
+		wrote = pr.nextValue
+		reg.value = wrote
+	} else {
+		prev = reg.value
 	}
-	v := pr.nextValue
-	reg.value = v
-	r.advanceMachine(pr, nil)
-	d.OnWrite(reg.id, p, v)
+	if pm := pr.ptrMachine; pm != nil {
+		op := pm.NextOp(prev)
+		if op == nil {
+			pr.isHalted = true
+		} else {
+			if op.Kind != OpRead && op.Kind != OpWrite {
+				panic(badOpKind(op.Kind))
+			}
+			pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+			if op.Kind == OpWrite {
+				pr.nextValue = op.Value
+			}
+		}
+	} else if op, ok := pr.machine.Next(prev); !ok {
+		pr.isHalted = true
+	} else {
+		if op.Kind != OpRead && op.Kind != OpWrite {
+			panic(badOpKind(op.Kind))
+		}
+		pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+		if op.Kind == OpWrite {
+			pr.nextValue = op.Value
+		}
+	}
+	if isWrite {
+		d.OnWrite(reg.id, p, wrote)
+	}
 }
 
 // runDirectedGeneric is the per-step directed loop for coroutine runners and

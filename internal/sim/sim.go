@@ -147,6 +147,40 @@ type register struct {
 
 func (r *register) Name() string { return r.name }
 
+// Recycler is runner-scoped state that vends reusable objects to machines
+// (arenas, lease pools). ResetRecycler is invoked by Runner.Reset after
+// register values are cleared and before the machine factories run again: at
+// that point no machine holds any vended object, so the recycler may reclaim
+// everything it ever handed out in bulk — including objects that were held
+// by crashed processes or by scans a mid-run stop left in flight.
+type Recycler interface {
+	ResetRecycler()
+}
+
+// RecyclerHost is implemented by the Registry a machine factory receives
+// when the runner permits value recycling. Machines that can reuse the
+// memory behind values they write (see internal/snapshot's arena) obtain
+// their runner-scoped recycler through it; on runners where it is absent or
+// returns nil they fall back to allocating per write.
+type RecyclerHost interface {
+	// Recycler returns the runner-scoped shared value under key, building it
+	// with create on first use. It returns nil when value recycling is
+	// disabled for this runner — an observer is attached, and observers may
+	// retain written values beyond the model's reuse horizon.
+	Recycler(key any, create func() any) any
+
+	// TakeValue removes and returns a register's current value without
+	// costing a step: the memory-plane free() of the simulated world's
+	// infinite register space. The caller must own the knowledge that the
+	// register is dead under its current use — no automaton will read or
+	// write it again before it is deliberately reused as a fresh register
+	// (a reset register reads as nil, indistinguishable from one never
+	// written). The BG simulation recycles the register groups of dead safe
+	// agreement objects this way. Stepping-goroutine only; panics when the
+	// runner does not permit recycling.
+	TakeValue(r Ref) any
+}
+
 // memory is the shared register namespace. Registers are interned: each
 // name maps to one slot for the lifetime of the runner, including across
 // Reset (values revert to nil; a nil-valued register is indistinguishable
@@ -163,9 +197,52 @@ type memory struct {
 	mu     sync.Mutex
 	byName map[string]*register
 	slots  []*register
+
+	// recycleOK gates Recycler: set once at construction (machine mode, no
+	// observer) and never changed. Recyclers are only touched from machine
+	// factories and the stepping path, both serial, so no lock is needed.
+	recycleOK bool
+	recyclers map[any]any
 }
 
 func newMemory() *memory { return &memory{byName: make(map[string]*register)} }
+
+// Recycler implements RecyclerHost for machine factories.
+func (m *memory) Recycler(key any, create func() any) any {
+	if !m.recycleOK {
+		return nil
+	}
+	if m.recyclers == nil {
+		m.recyclers = make(map[any]any)
+	}
+	v, ok := m.recyclers[key]
+	if !ok {
+		v = create()
+		m.recyclers[key] = v
+	}
+	return v
+}
+
+// TakeValue implements RecyclerHost. Stepping-goroutine only: register
+// values are plain fields owned by the stepping path.
+func (m *memory) TakeValue(r Ref) any {
+	if !m.recycleOK {
+		panic("sim: TakeValue on a runner that does not permit recycling")
+	}
+	reg := mustRegister(r)
+	v := reg.value
+	reg.value = nil
+	return v
+}
+
+// resetRecyclers bulk-resets every runner-scoped recycler. Reset-path only.
+func (m *memory) resetRecyclers() {
+	for _, v := range m.recyclers {
+		if r, ok := v.(Recycler); ok {
+			r.ResetRecycler()
+		}
+	}
+}
 
 // Reg implements Registry for machine factories.
 func (m *memory) Reg(name string) Ref { return m.reg(name) }
@@ -248,12 +325,15 @@ type proc struct {
 	// Machine (direct-dispatch) mode. The pending request is held in
 	// resolved form — kind, concrete register, write value — so the hot
 	// loops neither copy an Op struct per step nor repeat the Ref type
-	// assertion (valid when started && !isHalted).
-	machine   Machine
-	nextKind  OpKind
-	nextReg   *register
-	nextValue any
-	started   bool // whether the machine's first request has been fetched
+	// assertion (valid when started && !isHalted). ptrMachine is machine's
+	// PtrMachine form when it implements one, resolved once at start; the
+	// stepping loops prefer it.
+	machine    Machine
+	ptrMachine PtrMachine
+	nextKind   OpKind
+	nextReg    *register
+	nextValue  any
+	started    bool // whether the machine's first request has been fetched
 }
 
 // procEnv implements Env for one coroutine process.
@@ -353,6 +433,13 @@ func NewRunner(cfg Config) (*Runner, error) {
 		machine:   cfg.Machine,
 		observer:  cfg.Observer,
 	}
+	// Value recycling is sound only when nothing can retain a written value
+	// beyond the model's reuse horizon: an observer receives every written
+	// value in its StepInfo and may legitimately keep it (the equivalence
+	// tests do), so observed runners stay on the allocate-per-write path.
+	// Coroutine runners do too — the reference implementations are kept
+	// allocation-exact.
+	r.mem.recycleOK = cfg.Machine != nil && cfg.Observer == nil
 	for i := 0; i < cfg.N; i++ {
 		p := &proc{id: procset.ID(i + 1)}
 		r.procs[i] = p
@@ -374,6 +461,7 @@ func (r *Runner) start(p *proc) error {
 			return fmt.Errorf("sim: Config.Machine returned nil for %v", p.id)
 		}
 		p.machine = m
+		p.ptrMachine, _ = m.(PtrMachine)
 		return nil
 	}
 	algo := r.algorithm(p.id)
@@ -531,12 +619,19 @@ func (r *Runner) Reset() error {
 		r.kill = make(chan struct{})
 	}
 	r.mem.resetValues()
+	// With every register value dropped and every machine about to be
+	// rebuilt, no vended arena object is reachable: recyclers may take back
+	// everything in bulk, so a pooled runner's next job starts with warm
+	// freelists instead of a cold heap — including after mid-run stops that
+	// left scans in flight or crashed processes holding leases.
+	r.mem.resetRecyclers()
 	r.steps = 0
 	for _, p := range r.procs {
 		p.isHalted = false
 		p.stepCount = 0
 		p.pending = nil
 		p.machine = nil
+		p.ptrMachine = nil
 		p.nextKind = 0
 		p.nextReg = nil
 		p.nextValue = nil

@@ -46,6 +46,12 @@ type segment struct {
 	Seq int  // write sequence number, 0 = never written
 	Val any  // latest written value
 	Emb View // embedded snapshot taken during the write
+
+	// lease is the reference-counted backing of Emb when the segment was
+	// written on a recycled runner (see arena.go); nil on the
+	// allocate-per-write paths, where segments and views are immutable
+	// garbage-collected values.
+	lease *viewLease
 }
 
 // zeroSegment stands for a register that was never written; collect decodes
