@@ -15,9 +15,11 @@ import (
 	"io"
 	"os"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"github.com/settimeliness/settimeliness/internal/experiments"
+	"github.com/settimeliness/settimeliness/internal/obs"
 )
 
 func main() {
@@ -28,10 +30,20 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit tables as markdown")
 		jsonOut  = flag.Bool("json", false, "emit one JSON record per experiment (for perf tracking)")
 		gogc     = flag.Int("gogc", 400, "GC target percentage for this batch run (0 leaves the runtime default); the BG experiments allocate an immutable value per write step, and a short-lived batch tool prefers fewer collections over a small heap")
+		pprof    = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address while the suite runs (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *gogc > 0 && os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(*gogc)
+	}
+	if *pprof != "" {
+		ds, err := obs.ServeDebug(*pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "stm-bench: debug endpoints on http://%s/debug/\n", ds.Addr())
 	}
 	if err := run(os.Stdout, *quick, *id, *seed, *markdown, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
@@ -50,6 +62,15 @@ type benchRecord struct {
 	Seed      int64  `json:"seed"`
 }
 
+// benchProgress is the "bench" expvar: where the suite is right now, for
+// operators scraping /debug/vars during a long run.
+type benchProgress struct {
+	Current   string `json:"current,omitempty"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+	Failures  int    `json:"failures"`
+}
+
 func run(w io.Writer, quick bool, id string, seed int64, markdown, jsonOut bool) error {
 	cfg := experiments.Config{Quick: quick, Seed: seed}
 	list := experiments.All()
@@ -60,9 +81,13 @@ func run(w io.Writer, quick bool, id string, seed int64, markdown, jsonOut bool)
 		}
 		list = []experiments.Experiment{e}
 	}
+	var progress atomic.Value
+	progress.Store(benchProgress{Total: len(list)})
+	obs.Publish("bench", progress.Load)
 	enc := json.NewEncoder(w)
 	failures := 0
-	for _, e := range list {
+	for i, e := range list {
+		progress.Store(benchProgress{Current: e.ID, Completed: i, Total: len(list), Failures: failures})
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
@@ -96,6 +121,7 @@ func run(w io.Writer, quick bool, id string, seed int64, markdown, jsonOut bool)
 			failures++
 		}
 	}
+	progress.Store(benchProgress{Completed: len(list), Total: len(list), Failures: failures})
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) did not reproduce", failures)
 	}

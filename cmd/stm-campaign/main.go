@@ -22,14 +22,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/core"
 	"github.com/settimeliness/settimeliness/internal/experiments"
 	"github.com/settimeliness/settimeliness/internal/explore"
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/trace"
 )
 
@@ -38,21 +43,33 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the context instead of killing the process: the
+	// campaign engine skips not-yet-started jobs, completed outcomes are
+	// still folded, and the partial summary is printed before exiting
+	// nonzero. A second signal kills the process (NotifyContext restores
+	// default handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "matrix":
-		err = cmdMatrix(os.Args[2:], os.Stdout)
+		err = cmdMatrix(ctx, os.Args[2:], os.Stdout)
 	case "fuzz":
-		err = cmdFuzz(os.Args[2:], os.Stdout)
+		err = cmdFuzz(ctx, os.Args[2:], os.Stdout)
 	case "converge":
-		err = cmdConverge(os.Args[2:], os.Stdout)
+		err = cmdConverge(ctx, os.Args[2:], os.Stdout)
 	case "relations":
-		err = cmdRelations(os.Args[2:], os.Stdout)
+		err = cmdRelations(ctx, os.Args[2:], os.Stdout)
 	case "adversarial":
-		err = cmdAdversarial(os.Args[2:], os.Stdout)
+		err = cmdAdversarial(ctx, os.Args[2:], os.Stdout)
+	case "monitor":
+		err = cmdMonitor(ctx, os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if ctx.Err() != nil && err == nil {
+		err = fmt.Errorf("interrupted; partial results above")
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stm-campaign: %v\n", err)
@@ -66,17 +83,22 @@ func usage() {
   stm-campaign fuzz      -target commitadopt|consensus|cachain|kset|bg -schedules S  schedule fuzzing
   stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
   stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
-  stm-campaign adversarial -n N -runs R [-steps S]                      parking adversary vs the Theorem 24 solver
+  stm-campaign adversarial -n N -runs R [-steps S] [-flight K]          parking adversary vs the Theorem 24 solver
+  stm-campaign monitor   -n N -steps S [-every E] [-gen random|starver|mixed]  online timeliness-graph monitoring
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
-Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE`)
+Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE,
+-progress N (heartbeat to stderr every N jobs), -pprof ADDR (pprof+expvar).
+SIGINT/SIGTERM print the partial summary and exit nonzero.`)
 }
 
 // common holds the flags every campaign shares.
 type common struct {
-	workers  int
-	seed     int64
-	jsonOut  bool
-	jsonlOut string
+	workers   int
+	seed      int64
+	jsonOut   bool
+	jsonlOut  string
+	progress  int
+	pprofAddr string
 }
 
 func (c *common) register(fs *flag.FlagSet) {
@@ -84,6 +106,48 @@ func (c *common) register(fs *flag.FlagSet) {
 	fs.Int64Var(&c.seed, "seed", 1, "campaign master seed")
 	fs.BoolVar(&c.jsonOut, "json", false, "emit a machine-readable JSON summary on stdout")
 	fs.StringVar(&c.jsonlOut, "jsonl", "", "stream one JSON record per job to this file")
+	fs.IntVar(&c.progress, "progress", 0, "emit a JSONL heartbeat to stderr every N completed jobs (0 = off)")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+}
+
+// instrument applies the observability flags: -progress installs a campaign
+// heartbeat streaming JSONL to stderr, and -pprof starts the debug HTTP
+// server (pprof + expvar), publishing the latest heartbeat as the
+// "campaign" expvar. The returned context carries the heartbeat knob; the
+// cleanup function stops the debug server.
+func (c *common) instrument(ctx context.Context) (context.Context, func(), error) {
+	var last atomic.Pointer[campaign.Heartbeat]
+	every := c.progress
+	if every <= 0 && c.pprofAddr != "" {
+		// No -progress cadence requested, but the expvar should stay fresh.
+		every = 1
+	}
+	if every > 0 {
+		enc := json.NewEncoder(os.Stderr)
+		ctx = campaign.WithHeartbeat(ctx, every, func(hb campaign.Heartbeat) {
+			last.Store(&hb)
+			if c.progress > 0 {
+				_ = enc.Encode(hb) // best-effort telemetry: a broken stderr must not kill the run
+			}
+		})
+	}
+	cleanup := func() {}
+	if c.pprofAddr != "" {
+		obs.Publish("campaign", func() any {
+			hb := last.Load()
+			if hb == nil {
+				return nil
+			}
+			return *hb
+		})
+		ds, err := obs.ServeDebug(c.pprofAddr)
+		if err != nil {
+			return ctx, cleanup, err
+		}
+		fmt.Fprintf(os.Stderr, "stm-campaign: debug endpoints on http://%s/debug/\n", ds.Addr())
+		cleanup = func() { ds.Close() }
+	}
+	return ctx, cleanup, nil
 }
 
 // sink opens the -jsonl stream; the returned close function also surfaces
@@ -161,7 +225,7 @@ func parseRange(text string) (int, int, error) {
 	return l, h, nil
 }
 
-func cmdMatrix(args []string, w io.Writer) error {
+func cmdMatrix(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
 	var c common
 	c.register(fs)
@@ -199,11 +263,16 @@ func cmdMatrix(args []string, w io.Writer) error {
 	if len(problems) == 0 {
 		return fmt.Errorf("no valid (t,k,n) problems in t=%s k=%s n=%s", *tRange, *kRange, *nRange)
 	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	sink, closeSink, err := c.sink()
 	if err != nil {
 		return err
 	}
-	cells, rep, err := experiments.MatrixSweep(context.Background(), problems, c.seed, *posBudget, *negBudget, c.workers, sink)
+	cells, rep, err := experiments.MatrixSweep(ctx, problems, c.seed, *posBudget, *negBudget, c.workers, sink)
 	if cerr := closeSink(); err == nil {
 		err = cerr
 	}
@@ -249,7 +318,7 @@ func cmdMatrix(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdFuzz(args []string, w io.Writer) error {
+func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
 	var c common
 	c.register(fs)
@@ -266,6 +335,11 @@ func cmdFuzz(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	// Resolve the engine and target before opening the -jsonl sink so
 	// invalid invocations don't create (and leak) the stream file.
 	var fuzz func(onResult func(campaign.Outcome)) (*campaign.Report, int, error)
@@ -276,7 +350,7 @@ func cmdFuzz(args []string, w io.Writer) error {
 			return err
 		}
 		fuzz = func(onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
-			return explore.FuzzPooledCampaign(context.Background(), c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
+			return explore.FuzzPooledCampaign(ctx, c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
 		}
 	case "fresh":
 		build, err := explore.TargetBuilder(*target, *n)
@@ -284,7 +358,7 @@ func cmdFuzz(args []string, w io.Writer) error {
 			return err
 		}
 		fuzz = func(onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
-			return explore.FuzzCampaign(context.Background(), c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
+			return explore.FuzzCampaign(ctx, c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
 		}
 	default:
 		return fmt.Errorf("unknown -engine %q (want pooled or fresh)", *engine)
@@ -357,21 +431,30 @@ func parseCrashPatterns(spec string) ([]map[procset.ID]int, error) {
 	return patterns, nil
 }
 
-func cmdAdversarial(args []string, w io.Writer) error {
+func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("adversarial", flag.ExitOnError)
 	var c common
 	c.register(fs)
 	n := fs.Int("n", 4, "number of processes (solver runs at k = t = n/2)")
 	steps := fs.Int("steps", 100_000, "step horizon per run")
 	runs := fs.Int("runs", 32, "number of runs (cycles through the crash-pattern population)")
+	flightK := fs.Int("flight", 0, "per-runner flight recorder depth, dumped on violation or panic (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	if *flightK > 0 {
+		ctx = obs.WithFlight(ctx, *flightK)
 	}
 	sink, closeSink, err := c.sink()
 	if err != nil {
 		return err
 	}
-	rep, executed, err := explore.AdversarialPooledCampaign(context.Background(), c.workers, *n, *steps, *runs, c.seed, sink)
+	rep, executed, err := explore.AdversarialPooledCampaign(ctx, c.workers, *n, *steps, *runs, c.seed, sink)
 	if cerr := closeSink(); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -393,7 +476,7 @@ func cmdAdversarial(args []string, w io.Writer) error {
 	return emit(w, c, "adversarial", params, rep)
 }
 
-func cmdConverge(args []string, w io.Writer) error {
+func cmdConverge(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("converge", flag.ExitOnError)
 	var c common
 	c.register(fs)
@@ -406,11 +489,16 @@ func cmdConverge(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	sink, closeSink, err := c.sink()
 	if err != nil {
 		return err
 	}
-	rep, err := experiments.RunConvergenceSweep(context.Background(), experiments.ConvergenceConfig{
+	rep, err := experiments.RunConvergenceSweep(ctx, experiments.ConvergenceConfig{
 		N: *n, K: *k, T: *t, Bound: *bound, Trials: *trials, MaxSteps: *maxSteps, Workers: c.workers,
 	}, c.seed, sink)
 	if cerr := closeSink(); err == nil {
@@ -430,7 +518,7 @@ func cmdConverge(args []string, w io.Writer) error {
 	return nil
 }
 
-func cmdRelations(args []string, w io.Writer) error {
+func cmdRelations(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("relations", flag.ExitOnError)
 	var c common
 	c.register(fs)
@@ -442,11 +530,16 @@ func cmdRelations(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	sink, closeSink, err := c.sink()
 	if err != nil {
 		return err
 	}
-	rep, err := experiments.RunRelationsCampaign(context.Background(), experiments.RelationsConfig{
+	rep, err := experiments.RunRelationsCampaign(ctx, experiments.RelationsConfig{
 		N: *n, Bound: *bound, Steps: *steps, Schedules: *schedules, Generator: *gen, Workers: c.workers,
 	}, c.seed, sink)
 	if cerr := closeSink(); err == nil {
@@ -474,4 +567,190 @@ func cmdRelations(args []string, w io.Writer) error {
 	return emit(w, c, "relations", map[string]any{
 		"n": *n, "bound": *bound, "steps": *steps, "schedules": *schedules, "gen": *gen,
 	}, rep)
+}
+
+// segmentSwitcher alternates between two sources in fixed-length segments,
+// exercising the monitor across regime changes (random churn versus
+// adversarial starvation) within a single run. Both regimes recur forever,
+// so the correct set is the union.
+type segmentSwitcher struct {
+	a, b sched.Source
+	seg  int
+	pos  int
+	onB  bool
+}
+
+func (s *segmentSwitcher) Next() procset.ID {
+	if s.pos == s.seg {
+		s.pos, s.onB = 0, !s.onB
+	}
+	s.pos++
+	if s.onB {
+		return s.b.Next()
+	}
+	return s.a.Next()
+}
+
+func (s *segmentSwitcher) N() int               { return s.a.N() }
+func (s *segmentSwitcher) Correct() procset.Set { return s.a.Correct().Union(s.b.Correct()) }
+
+// monitorSource builds the schedule source for the monitor subcommand,
+// mirroring the relations campaign's generator choices.
+func monitorSource(gen string, n int, seed int64) (sched.Source, error) {
+	starver := func() (sched.Source, error) {
+		k := int(uint64(seed)%uint64(n-1)) + 1
+		return sched.RotatingStarver(n, k, 1)
+	}
+	switch gen {
+	case "random":
+		return sched.Random(n, seed, nil)
+	case "starver":
+		return starver()
+	case "mixed":
+		a, err := sched.Random(n, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		b, err := starver()
+		if err != nil {
+			return nil, err
+		}
+		return &segmentSwitcher{a: a, b: b, seg: 512}, nil
+	default:
+		return nil, fmt.Errorf("unknown -gen %q (want random|starver|mixed)", gen)
+	}
+}
+
+func printGraph(w io.Writer, title string, graph []obs.SystemStatus, n int) {
+	tb := trace.NewTable(title, "system", "held", "best P", "best Q", "min bound")
+	for _, st := range graph {
+		held := "no"
+		if st.Held {
+			held = "yes"
+		}
+		tb.AddRow(fmt.Sprintf("S^%d_{%d,%d}", st.I, st.J, n), held, st.BestP, st.BestQ, st.MinBound)
+	}
+	fmt.Fprintln(w, tb.Render())
+}
+
+// cmdMonitor runs the online timeliness-graph monitor over a generated
+// schedule, printing the graph periodically and cross-checking the final
+// state against the batch extractor on the retained schedule.
+func cmdMonitor(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	n := fs.Int("n", 4, "system size n (2..6)")
+	gen := fs.String("gen", "mixed", "schedule generator: random|starver|mixed")
+	steps := fs.Int("steps", 4096, "steps to observe")
+	every := fs.Int("every", 1024, "print the timeliness graph every E steps (0 = final only)")
+	bound := fs.Int("bound", 4, "Definition 1 bound probed by the graph")
+	window := fs.Int("window", 0, "sliding-window size for the recent view (0 = cumulative only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 || *n > 6 {
+		return fmt.Errorf("monitor tracks the full S^i_{j,n} family, which needs 2 <= n <= 6 (got %d)", *n)
+	}
+	if *steps < 1 {
+		return fmt.Errorf("-steps must be positive")
+	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	src, err := monitorSource(*gen, *n, c.seed)
+	if err != nil {
+		return err
+	}
+	m, err := obs.NewMonitor(obs.MonitorConfig{N: *n, Window: *window})
+	if err != nil {
+		return err
+	}
+	if c.pprofAddr != "" {
+		obs.Publish("monitor", func() any {
+			return map[string]any{"steps": m.Steps(), "graph": m.Graph(*bound)}
+		})
+	}
+
+	// Feed the monitor in blocks (the bulk path the engines use), retaining
+	// the full schedule so the final state can be cross-checked below.
+	full := make(sched.Schedule, 0, *steps)
+	var block [256]procset.ID
+	nextPrint := *steps
+	if *every > 0 {
+		nextPrint = *every
+	}
+	for done := 0; done < *steps; {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted after %d steps", done)
+		}
+		k := len(block)
+		if rem := *steps - done; rem < k {
+			k = rem
+		}
+		if rem := nextPrint - done; rem < k {
+			k = rem
+		}
+		sched.FillBlock(src, block[:k])
+		m.ObserveBlock(block[:k])
+		full = append(full, block[:k]...)
+		done += k
+		if done == nextPrint {
+			if *every > 0 && !c.jsonOut {
+				printGraph(w, fmt.Sprintf("timeliness graph after %d steps (bound %d)", m.Steps(), *bound), m.Graph(*bound), *n)
+				if *window > 0 {
+					win := len(m.WindowSchedule())
+					printGraph(w, fmt.Sprintf("recent view: last %d steps (bound %d)", win, *bound), m.RecentGraph(*bound), *n)
+				}
+				nextPrint += *every
+			} else {
+				nextPrint = *steps
+			}
+		}
+	}
+
+	// The online monitor must agree with the batch extractor on the schedule
+	// it just observed; a mismatch is a bug, not a measurement.
+	for i := 1; i <= *n; i++ {
+		for j := i; j <= *n; j++ {
+			if got, want := m.Best(i, j), sched.BestPair(full, *n, i, j); got != want {
+				return fmt.Errorf("monitor disagrees with batch extractor on S^%d_{%d,%d}: online %+v, batch %+v", i, j, *n, got, want)
+			}
+			if got, want := m.InSystem(i, j, *bound), sched.InSystem(full, *n, i, j, *bound); got != want {
+				return fmt.Errorf("monitor InSystem(%d,%d,%d) = %v, batch says %v", i, j, *bound, got, want)
+			}
+		}
+	}
+
+	if c.jsonOut {
+		out := struct {
+			Campaign string             `json:"campaign"`
+			Params   map[string]any     `json:"params"`
+			Seed     int64              `json:"seed"`
+			Steps    int                `json:"steps"`
+			Graph    []obs.SystemStatus `json:"graph"`
+			Recent   []obs.SystemStatus `json:"recent,omitempty"`
+		}{
+			Campaign: "monitor",
+			Params:   map[string]any{"n": *n, "gen": *gen, "every": *every, "bound": *bound, "window": *window},
+			Seed:     c.seed,
+			Steps:    m.Steps(),
+			Graph:    m.Graph(*bound),
+		}
+		if *window > 0 {
+			out.Recent = m.RecentGraph(*bound)
+		}
+		return json.NewEncoder(w).Encode(out)
+	}
+	if *every <= 0 || *steps%*every != 0 {
+		printGraph(w, fmt.Sprintf("timeliness graph after %d steps (bound %d)", m.Steps(), *bound), m.Graph(*bound), *n)
+		if *window > 0 {
+			win := len(m.WindowSchedule())
+			printGraph(w, fmt.Sprintf("recent view: last %d steps (bound %d)", win, *bound), m.RecentGraph(*bound), *n)
+		}
+	}
+	fmt.Fprintf(w, "monitor: %d steps observed, online state verified against the batch extractor\n", m.Steps())
+	return nil
 }

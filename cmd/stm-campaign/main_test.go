@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -48,7 +49,7 @@ func TestParseCrashPatterns(t *testing.T) {
 func TestMatrixCampaignSmoke(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	err := cmdMatrix([]string{"-t", "1", "-k", "1", "-n", "2",
+	err := cmdMatrix(context.Background(), []string{"-t", "1", "-k", "1", "-n", "2",
 		"-posbudget", "500000", "-negbudget", "20000", "-workers", "2", "-json"}, &out)
 	if err != nil {
 		t.Fatalf("matrix campaign failed: %v\noutput: %s", err, out.String())
@@ -66,7 +67,7 @@ func TestFuzzCampaignSmokeWithJSONL(t *testing.T) {
 	t.Parallel()
 	path := filepath.Join(t.TempDir(), "fuzz.jsonl")
 	var out bytes.Buffer
-	err := cmdFuzz([]string{"-target", "commitadopt", "-n", "3", "-steps", "60",
+	err := cmdFuzz(context.Background(), []string{"-target", "commitadopt", "-n", "3", "-steps", "60",
 		"-schedules", "40", "-crashes", "p1@3", "-workers", "2", "-json", "-jsonl", path}, &out)
 	if err != nil {
 		t.Fatalf("fuzz campaign failed: %v\noutput: %s", err, out.String())
@@ -99,7 +100,7 @@ func TestFuzzCampaignSmokeWithJSONL(t *testing.T) {
 func TestConvergeCampaignSmoke(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	err := cmdConverge([]string{"-n", "3", "-k", "1", "-t", "1", "-trials", "3", "-workers", "2", "-json"}, &out)
+	err := cmdConverge(context.Background(), []string{"-n", "3", "-k", "1", "-t", "1", "-trials", "3", "-workers", "2", "-json"}, &out)
 	if err != nil {
 		t.Fatalf("converge campaign failed: %v\noutput: %s", err, out.String())
 	}
@@ -115,7 +116,7 @@ func TestConvergeCampaignSmoke(t *testing.T) {
 func TestAdversarialCampaignSmoke(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	err := cmdAdversarial([]string{"-n", "3", "-runs", "6", "-steps", "20000", "-workers", "2", "-json"}, &out)
+	err := cmdAdversarial(context.Background(), []string{"-n", "3", "-runs", "6", "-steps", "20000", "-workers", "2", "-json"}, &out)
 	if err != nil {
 		t.Fatalf("adversarial campaign failed: %v\noutput: %s", err, out.String())
 	}
@@ -131,7 +132,7 @@ func TestAdversarialCampaignSmoke(t *testing.T) {
 func TestRelationsCampaignSmoke(t *testing.T) {
 	t.Parallel()
 	var out bytes.Buffer
-	err := cmdRelations([]string{"-n", "3", "-steps", "200", "-schedules", "8", "-workers", "2"}, &out)
+	err := cmdRelations(context.Background(), []string{"-n", "3", "-steps", "200", "-schedules", "8", "-workers", "2"}, &out)
 	if err != nil {
 		t.Fatalf("relations campaign failed: %v\noutput: %s", err, out.String())
 	}
@@ -148,7 +149,7 @@ func TestFuzzEnginesBitIdentical(t *testing.T) {
 	t.Parallel()
 	summary := func(target, engine, workers string) string {
 		var out bytes.Buffer
-		err := cmdFuzz([]string{"-target", target, "-n", "3", "-steps", "80",
+		err := cmdFuzz(context.Background(), []string{"-target", target, "-n", "3", "-steps", "80",
 			"-schedules", "24", "-seed", "3", "-engine", engine, "-workers", workers, "-json"}, &out)
 		if err != nil {
 			t.Fatalf("%s/%s: %v\n%s", target, engine, err, out.String())
@@ -181,7 +182,7 @@ func TestCampaignJSONDeterministicAcrossWorkers(t *testing.T) {
 	t.Parallel()
 	summary := func(workers string) string {
 		var out bytes.Buffer
-		err := cmdRelations([]string{"-n", "3", "-steps", "200", "-schedules", "10",
+		err := cmdRelations(context.Background(), []string{"-n", "3", "-steps", "200", "-schedules", "10",
 			"-seed", "5", "-workers", workers, "-json"}, &out)
 		if err != nil {
 			t.Fatal(err)
@@ -198,5 +199,80 @@ func TestCampaignJSONDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if s1, s8 := summary("1"), summary("8"); s1 != s8 {
 		t.Errorf("summaries differ:\nworkers=1: %s\nworkers=8: %s", s1, s8)
+	}
+}
+
+func TestMonitorSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	// Non-multiple of -every exercises both the periodic and the final print;
+	// the command itself cross-checks the monitor against the batch extractor
+	// and fails on any mismatch.
+	err := cmdMonitor(context.Background(), []string{"-n", "4", "-steps", "1500", "-every", "700", "-window", "128", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified against the batch extractor") {
+		t.Fatalf("missing verification line in output:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "timeliness graph after"); got != 3 {
+		t.Fatalf("got %d periodic graphs, want 3 (after 700, 1400, 1500)", got)
+	}
+}
+
+func TestMonitorJSON(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := cmdMonitor(context.Background(), []string{"-n", "3", "-gen", "random", "-steps", "600", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Campaign string `json:"campaign"`
+		Steps    int    `json:"steps"`
+		Graph    []struct {
+			I        int `json:"i"`
+			J        int `json:"j"`
+			MinBound int `json:"min_bound"`
+		} `json:"graph"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rec.Campaign != "monitor" || rec.Steps != 600 || len(rec.Graph) != 6 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestMonitorRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := cmdMonitor(context.Background(), []string{"-n", "7"}, &out); err == nil {
+		t.Error("n=7 accepted (full family tracking is bounded at 6)")
+	}
+	if err := cmdMonitor(context.Background(), []string{"-gen", "bogus"}, &out); err == nil {
+		t.Error("bogus generator accepted")
+	}
+}
+
+// A campaign run with -pprof brings the debug endpoints up for its duration
+// and shuts them down on exit; the run result must be unaffected.
+func TestPprofFlagSmoke(t *testing.T) {
+	var plain, instrumented bytes.Buffer
+	args := []string{"-n", "3", "-schedules", "6", "-steps", "200", "-json"}
+	if err := cmdRelations(context.Background(), args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRelations(context.Background(), append([]string{"-pprof", "127.0.0.1:0"}, args...), &instrumented); err != nil {
+		t.Fatal(err)
+	}
+	var p, i map[string]json.RawMessage
+	if err := json.Unmarshal(plain.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(instrumented.Bytes(), &i); err != nil {
+		t.Fatal(err)
+	}
+	if string(p["summary"]) != string(i["summary"]) {
+		t.Fatalf("-pprof changed the summary:\n%s\n%s", p["summary"], i["summary"])
 	}
 }

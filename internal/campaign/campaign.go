@@ -83,12 +83,17 @@ type Config struct {
 }
 
 // Report is the result of a campaign: the deterministic Summary plus
-// execution metadata that may vary run to run (Elapsed).
+// execution metadata that may vary run to run (Elapsed, Telemetry's
+// wall-clock fields).
 type Report struct {
 	Summary  Summary       `json:"summary"`
 	Workers  int           `json:"workers"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
 	Failures []Outcome     `json:"failures,omitempty"`
+	// Telemetry is the final progress snapshot (see Heartbeat): the same
+	// counters the periodic heartbeats report, taken after the last job
+	// folded. Its Seq is the number of periodic heartbeats that fired.
+	Telemetry Heartbeat `json:"telemetry"`
 }
 
 // SeedFor derives the deterministic seed of job index i from the campaign
@@ -170,7 +175,12 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 
 	// Fold in job-index order: buffer out-of-order arrivals and advance a
 	// cursor so OnResult and the aggregate see a deterministic sequence.
+	// Heartbeats fire from this same goroutine at deterministic fold
+	// positions (every hb.every folded jobs), so their counting fields
+	// inherit the fold order's worker-count independence.
 	agg := newAggregate()
+	hb := heartbeatFrom(ctx)
+	hbSeq := 0
 	pending := make(map[int]indexed)
 	var (
 		failures []Outcome
@@ -199,23 +209,28 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 			emit++
 			if nr.skipped {
 				agg.skip()
-				continue
+			} else {
+				agg.add(nr.out)
+				if !nr.out.Ok && len(failures) < keep {
+					failures = append(failures, nr.out)
+				}
+				if cfg.OnResult != nil {
+					cfg.OnResult(nr.out)
+				}
 			}
-			agg.add(nr.out)
-			if !nr.out.Ok && len(failures) < keep {
-				failures = append(failures, nr.out)
-			}
-			if cfg.OnResult != nil {
-				cfg.OnResult(nr.out)
+			if hb.fn != nil && emit%hb.every == 0 {
+				hbSeq++
+				hb.fn(agg.snapshot(hbSeq, len(jobs), start))
 			}
 		}
 	}
 
 	rep := &Report{
-		Summary:  agg.summary(len(jobs)),
-		Workers:  workers,
-		Elapsed:  time.Since(start),
-		Failures: failures,
+		Summary:   agg.summary(len(jobs)),
+		Workers:   workers,
+		Elapsed:   time.Since(start),
+		Failures:  failures,
+		Telemetry: agg.snapshot(hbSeq, len(jobs), start),
 	}
 	if firstErr != nil {
 		return rep, fmt.Errorf("campaign: job %d (%s): %w", errIdx, jobs[errIdx].Name, firstErr)
@@ -246,6 +261,7 @@ type aggregate struct {
 	verdicts  map[string]int
 	tallies   map[string]int
 	steps     []int
+	stepsSum  int64 // incremental, so heartbeats never rescan the sample
 }
 
 func newAggregate() *aggregate {
@@ -266,6 +282,7 @@ func (a *aggregate) add(o Outcome) {
 		a.tallies[k] += v
 	}
 	a.steps = append(a.steps, o.Steps)
+	a.stepsSum += int64(o.Steps)
 }
 
 func (a *aggregate) summary(jobs int) Summary {

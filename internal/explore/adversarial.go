@@ -13,10 +13,12 @@ package explore
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"github.com/settimeliness/settimeliness/internal/adversary"
 	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
@@ -31,7 +33,10 @@ type adversarialRun struct {
 	adv    *adversary.Adversary
 }
 
-func newAdversarialRun(cfg kset.Config) (*adversarialRun, error) {
+// newAdversarialRun builds a rig; flightK > 0 additionally attaches a
+// flight recorder with a ring of that many steps, so a failing run can dump
+// its tail (directed runs have no replayable schedule to report).
+func newAdversarialRun(cfg kset.Config, flightK int) (*adversarialRun, error) {
 	ag, err := kset.New(cfg, nil)
 	if err != nil {
 		return nil, err
@@ -42,6 +47,9 @@ func newAdversarialRun(cfg kset.Config) (*adversarialRun, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if flightK > 0 {
+		runner.SetFlightRecorder(sim.NewFlightRecorder(flightK))
 	}
 	adv, err := adversary.New(adversary.Config{N: cfg.N})
 	if err != nil {
@@ -110,7 +118,12 @@ func AdversarialPooledCampaign(ctx context.Context, workers, n, steps, runs int,
 	}
 	patterns := adversarialCrashPatterns(n, cfg.K, cfg.T)
 	offset := int(((seed % int64(len(patterns))) + int64(len(patterns))) % int64(len(patterns)))
-	pool := campaign.NewPool(func() (*adversarialRun, error) { return newAdversarialRun(cfg) })
+	// Flight recording is requested by context (obs.WithFlight) so callers
+	// needing failure tails — the CLI's -flight flag, debugging sessions —
+	// get them without a signature change; campaigns without the knob build
+	// recorder-free rigs and pay nothing.
+	flightK := obs.FlightK(ctx)
+	pool := campaign.NewPool(func() (*adversarialRun, error) { return newAdversarialRun(cfg, flightK) })
 	defer pool.Drain(func(r *adversarialRun) { r.runner.Close() })
 
 	batch := batchSize(runs)
@@ -128,6 +141,19 @@ func AdversarialPooledCampaign(ctx context.Context, workers, n, steps, runs int,
 					return campaign.Outcome{}, err
 				}
 				defer pool.Put(rig)
+				if flightK > 0 {
+					// A panicking run never reaches the violation path below;
+					// dump the recorded tail to stderr before unwinding so the
+					// crash context is not lost with the rig.
+					defer func() {
+						if rec := recover(); rec != nil {
+							if dump := obs.FlightDump(rig.runner); dump != "" {
+								fmt.Fprintf(os.Stderr, "explore: panic in adversarial run; last %d steps:\n%s", rig.runner.FlightRecorder().Len(), dump)
+							}
+							panic(rec)
+						}
+					}()
+				}
 				tallies := map[string]int{}
 				executed := 0
 				for i := lo; i < hi; i++ {
@@ -147,7 +173,7 @@ func AdversarialPooledCampaign(ctx context.Context, workers, n, steps, runs int,
 							Ok:      false,
 							Steps:   executed,
 							Tallies: tallies,
-							Detail:  &Violation{Err: err},
+							Detail:  &Violation{Err: err, Flight: obs.FlightDump(rig.runner)},
 						}, nil
 					}
 				}

@@ -1,0 +1,28 @@
+package explore
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/obs"
+)
+
+// Attaching flight recorders must not change what a campaign computes: the
+// recorder observes executed steps, never schedules them. The summaries of a
+// recorded and an unrecorded campaign are identical.
+func TestAdversarialCampaignUnchangedByFlight(t *testing.T) {
+	const n, steps, runs, seed = 4, 4000, 12, 9
+	plain, _, err := AdversarialPooledCampaign(context.Background(), 2, n, steps, runs, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, _, err := AdversarialPooledCampaign(obs.WithFlight(context.Background(), 64), 2, n, steps, runs, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Summary, recorded.Summary) {
+		t.Fatalf("flight recording changed the campaign:\nplain:    %+v\nrecorded: %+v",
+			plain.Summary, recorded.Summary)
+	}
+}

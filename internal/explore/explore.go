@@ -64,6 +64,11 @@ type PooledBuilder func() (*Run, error)
 type Violation struct {
 	Schedule sched.Schedule
 	Err      error
+	// Flight, when non-empty, is the formatted tail of the failing run from
+	// an attached flight recorder (see internal/obs): the last K executed
+	// steps with process, op kind, and register resolved. Directed runs have
+	// no replayable Schedule, so this is their failure context.
+	Flight string
 }
 
 func (v *Violation) Error() string {
@@ -77,7 +82,8 @@ func (v *Violation) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Schedule string `json:"schedule"`
 		Err      string `json:"err"`
-	}{v.Schedule.String(), v.Err.Error()})
+		Flight   string `json:"flight,omitempty"`
+	}{v.Schedule.String(), v.Err.Error(), v.Flight})
 }
 
 // runOne executes one finite schedule from a fresh build and applies the

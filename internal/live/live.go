@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
@@ -37,6 +38,12 @@ type Config struct {
 	Bound int
 	// CrashAfterOps crashes processes after that many operations.
 	CrashAfterOps map[procset.ID]int
+	// Monitor, if non-nil, observes every admitted operation online, so the
+	// emerging schedule's timeliness graph can be queried mid-run instead of
+	// by batch analysis of Schedule() after Stop. The runtime owns the
+	// monitor's synchronization from here on: it is fed under the runtime
+	// lock, and must only be queried through WithMonitor.
+	Monitor *obs.Monitor
 }
 
 var errCrashed = errors.New("live: process crashed or runtime stopped")
@@ -175,6 +182,9 @@ func (rt *Runtime) admit(p procset.ID) {
 	}
 	rt.ops[p]++
 	rt.schedule = append(rt.schedule, p)
+	if rt.cfg.Monitor != nil {
+		rt.cfg.Monitor.Observe(p)
+	}
 }
 
 // Start launches the process goroutines. It may be called once.
@@ -266,6 +276,20 @@ func (rt *Runtime) Schedule() sched.Schedule {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return append(sched.Schedule(nil), rt.schedule...)
+}
+
+// WithMonitor runs f on the configured monitor under the runtime lock — the
+// only race-free way to query the online timeliness graph while processes
+// are running (the monitor itself is not synchronized, and the runtime feeds
+// it on every admitted operation). It is a no-op when no monitor is
+// configured. f must not call back into the runtime.
+func (rt *Runtime) WithMonitor(f func(*obs.Monitor)) {
+	if rt.cfg.Monitor == nil {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	f(rt.cfg.Monitor)
 }
 
 // Ops returns the number of operations performed by p.

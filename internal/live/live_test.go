@@ -1,11 +1,13 @@
 package live
 
 import (
+	"slices"
 	"testing"
 	"time"
 
 	"github.com/settimeliness/settimeliness/internal/check"
 	"github.com/settimeliness/settimeliness/internal/kset"
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
@@ -212,4 +214,69 @@ func TestStopUnblocksGovernedProcesses(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("Stop deadlocked with governed processes blocked")
 	}
+}
+
+func TestLiveMonitorMatchesRecordedSchedule(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	mon, err := obs.NewMonitor(obs.MonitorConfig{N: n, Window: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{
+		N:         n,
+		Algorithm: func(procset.ID) sim.Algorithm { return counter },
+		P:         procset.MakeSet(1),
+		Q:         procset.MakeSet(2, 3),
+		Bound:     3,
+		Monitor:   mon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The governor admits Q operations only between P operations, and P's
+	// tight loop dominates the runtime lock, so Q progresses slowly: demand
+	// plenty of P ops but only a handful from each governed process.
+	ok := rt.WaitUntil(func() bool {
+		return rt.Ops(1) >= 200 && rt.Ops(2) >= 20 && rt.Ops(3) >= 20
+	}, time.Millisecond, 20*time.Second)
+
+	// Query the graph mid-run: the governor enforces P={p1} timely w.r.t.
+	// Q={p2,p3} with bound 3, so the online monitor must see S^1_{2,3} held
+	// with that bound right now, while everything is still moving.
+	var midHeld bool
+	rt.WithMonitor(func(m *obs.Monitor) {
+		midHeld = m.IsTimely(procset.MakeSet(1), procset.MakeSet(2, 3), 3)
+	})
+	rt.Stop()
+	if !ok {
+		t.Fatal("processes made no progress")
+	}
+	if !midHeld {
+		t.Error("mid-run monitor query says the governed relation does not hold")
+	}
+
+	// After Stop the monitor's answers must be the batch extractor's answers
+	// on the recorded schedule — the wild live schedule is the equivalence
+	// fixture here.
+	s := rt.Schedule()
+	rt.WithMonitor(func(m *obs.Monitor) {
+		if m.Steps() != len(s) {
+			t.Fatalf("monitor observed %d steps, schedule recorded %d", m.Steps(), len(s))
+		}
+		for i := 1; i <= n; i++ {
+			for j := i; j <= n; j++ {
+				if got, want := m.Best(i, j), sched.BestPair(s, n, i, j); got != want {
+					t.Errorf("Best(%d,%d) = %+v, batch says %+v", i, j, got, want)
+				}
+			}
+		}
+		win := m.WindowSchedule()
+		if len(s) >= 128 && !slices.Equal(win, s[len(s)-128:]) {
+			t.Error("window does not match the schedule tail")
+		}
+	})
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Debug HTTP serving: net/http/pprof profiling endpoints plus expvar
+// counters, on an explicitly constructed mux. The private mux keeps this
+// server's surface explicit — exactly the five pprof handlers and
+// /debug/vars, independent of whatever the process put on
+// http.DefaultServeMux — and keeps working if an application replaces the
+// default mux. (Importing net/http/pprof still registers its handlers on
+// the default mux as an import side effect; nothing here serves that mux,
+// so they stay unreachable unless the application exposes it itself.)
+
+// DebugServer serves /debug/pprof/* and /debug/vars on its own listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060"; a :0
+// port picks a free one — read it back with Addr). The listener is bound
+// synchronously, so a non-nil return means the endpoints are reachable;
+// serving continues on a background goroutine until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	ds := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path; any
+		// other serve error leaves the endpoints dark, which the operator
+		// notices at the first scrape — don't crash the measured process.
+		_ = ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *DebugServer) Addr() string { return ds.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (ds *DebugServer) Close() error { return ds.srv.Close() }
+
+// expvar publication guard: expvar.Publish panics on duplicate names, which
+// breaks callers that start several campaigns (or tests) in one process.
+// Publish installs an expvar.Func once per name and atomically swaps the
+// function it delegates to, so re-publishing a name is an update, not a
+// crash.
+var (
+	pubMu  sync.Mutex
+	pubFns = map[string]*pubSlot{}
+)
+
+type pubSlot struct {
+	mu sync.Mutex
+	fn func() any
+}
+
+func (s *pubSlot) get() any {
+	s.mu.Lock()
+	fn := s.fn
+	s.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Publish exposes fn's result under the given expvar name (shown at
+// /debug/vars, JSON-encoded by expvar). Calling it again with the same name
+// replaces the function. fn must be safe to call from any goroutine.
+func Publish(name string, fn func() any) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	slot, ok := pubFns[name]
+	if !ok {
+		slot = &pubSlot{}
+		pubFns[name] = slot
+		expvar.Publish(name, expvar.Func(slot.get))
+	}
+	slot.mu.Lock()
+	slot.fn = fn
+	slot.mu.Unlock()
+}

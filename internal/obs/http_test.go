@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	ds, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", code)
+	}
+	if code, body := get(t, base+"/debug/pprof/heap?debug=1"); code != http.StatusOK || !strings.Contains(body, "heap") {
+		t.Fatalf("pprof heap: status %d", code)
+	}
+
+	Publish("obs_test_counter", func() any { return map[string]int64{"steps": 42} })
+	code, body := get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("expvar: status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar body is not JSON: %v", err)
+	}
+	if string(vars["obs_test_counter"]) != `{"steps":42}` {
+		t.Fatalf("published var = %s", vars["obs_test_counter"])
+	}
+
+	// The surface is explicit: paths not registered on the private mux 404
+	// even if something (e.g. net/http/pprof's import side effect) put them
+	// on http.DefaultServeMux.
+	if code, _ := get(t, base+"/debug/unregistered"); code != http.StatusNotFound {
+		t.Fatalf("unregistered path served with status %d", code)
+	}
+}
+
+func TestPublishIsIdempotent(t *testing.T) {
+	Publish("obs_test_dup", func() any { return 1 })
+	// A second publish with the same name must replace, not panic.
+	Publish("obs_test_dup", func() any { return 2 })
+
+	ds, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	_, body := get(t, "http://"+ds.Addr()+"/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if string(vars["obs_test_dup"]) != "2" {
+		t.Fatalf("obs_test_dup = %s, want the replacement value 2", vars["obs_test_dup"])
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.0.0.1:99999"); err == nil {
+		t.Fatal("nonsense address accepted")
+	}
+}

@@ -1,0 +1,376 @@
+// Package obs is the observability plane over the set-timeliness engine:
+// an online timeliness-graph monitor (this file), debug HTTP serving
+// (pprof + expvar, http.go), and helpers around the engine's counter
+// blocks and flight recorder. Everything here observes; nothing here may
+// change a run — the engine's fast paths stay bit-identical and
+// allocation-free whether or not the plane is attached.
+//
+// The Monitor answers the paper's central question — *which set is timely
+// right now, with what bound?* (Definition 1) — while a run unfolds,
+// instead of by batch relation extraction after it ends. It maintains, for
+// every tracked pair (P, Q), the number of Q-steps since the last P-step
+// and the maximum any P-free window ever reached: exactly the quantities
+// behind sched.MaxQGap, kept incrementally in the style of the online
+// timeliness-graph extraction algorithms of Delporte-Gallet et al.
+// (arXiv:1003.1058). Queries therefore agree bit for bit with the batch
+// extractor on the observed prefix, which the equivalence tests pin.
+package obs
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+)
+
+// MonitorConfig configures a Monitor.
+type MonitorConfig struct {
+	// N is the system size.
+	N int
+	// Sizes lists the (i, j) size classes to track, i ≤ j (the paper's
+	// S^i_{j,n} family). Empty means every class with 1 ≤ i ≤ j ≤ N, which
+	// is only permitted for N ≤ 6 — the class count is exponential in N, so
+	// larger systems must name the classes they care about.
+	Sizes [][2]int
+	// Window, when positive, additionally retains the last Window observed
+	// steps in a ring, enabling the Recent* queries ("timely over the last
+	// W steps" rather than "timely over the whole run").
+	Window int
+}
+
+// defaultSizesMaxN bounds the system size for which the full class family
+// is tracked implicitly; it matches the batch extractor's range
+// (experiments.RunRelationsCampaign supports 2 ≤ n ≤ 6).
+const defaultSizesMaxN = 6
+
+// pairGap is the online state of one (P, Q) pair: the Q-count of the
+// current P-free window and the maximum over all closed windows.
+type pairGap struct {
+	q           procset.Set
+	gap, maxGap int32
+}
+
+// pGroup holds every tracked Q for one P of a class, so the per-step update
+// tests P's membership once per group rather than once per pair.
+type pGroup struct {
+	p  procset.Set
+	qs []pairGap
+}
+
+// classState is one tracked size class (i, j), its pairs enumerated in the
+// canonical procset.KSubsets order — the same order sched.BestPair searches
+// in, so tie-breaking agrees.
+type classState struct {
+	i, j   int
+	groups []pGroup
+}
+
+// Monitor incrementally maintains the timeliness graph of an observed
+// schedule prefix. It is not safe for concurrent use; feed and query it
+// from one goroutine (or under one lock, as internal/live does).
+type Monitor struct {
+	n       int
+	steps   int
+	classes []classState
+
+	window  int
+	ring    []procset.ID
+	ringPos int
+	ringLen int
+}
+
+// NewMonitor builds a monitor. See MonitorConfig for the contract.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.N < 1 || cfg.N > procset.MaxProcs {
+		return nil, fmt.Errorf("obs: n = %d out of range [1,%d]", cfg.N, procset.MaxProcs)
+	}
+	sizes := cfg.Sizes
+	if len(sizes) == 0 {
+		if cfg.N > defaultSizesMaxN {
+			return nil, fmt.Errorf("obs: tracking all size classes is limited to n ≤ %d (n = %d); set MonitorConfig.Sizes", defaultSizesMaxN, cfg.N)
+		}
+		for i := 1; i <= cfg.N; i++ {
+			for j := i; j <= cfg.N; j++ {
+				sizes = append(sizes, [2]int{i, j})
+			}
+		}
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("obs: negative window %d", cfg.Window)
+	}
+	m := &Monitor{n: cfg.N, window: cfg.Window}
+	if cfg.Window > 0 {
+		m.ring = make([]procset.ID, cfg.Window)
+	}
+	seen := map[[2]int]bool{}
+	for _, s := range sizes {
+		i, j := s[0], s[1]
+		if i < 1 || j < i || j > cfg.N {
+			return nil, fmt.Errorf("obs: size class (%d,%d) invalid for n = %d (need 1 ≤ i ≤ j ≤ n)", i, j, cfg.N)
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		cl := classState{i: i, j: j}
+		qsets := procset.KSubsets(cfg.N, j)
+		for _, p := range procset.KSubsets(cfg.N, i) {
+			g := pGroup{p: p, qs: make([]pairGap, len(qsets))}
+			for k, q := range qsets {
+				g.qs[k] = pairGap{q: q}
+			}
+			cl.groups = append(cl.groups, g)
+		}
+		m.classes = append(m.classes, cl)
+	}
+	return m, nil
+}
+
+// N returns the system size.
+func (m *Monitor) N() int { return m.n }
+
+// Steps returns the number of observed steps.
+func (m *Monitor) Steps() int { return m.steps }
+
+// Window returns the configured sliding-window length (0 = none).
+func (m *Monitor) Window() int { return m.window }
+
+// Observe feeds one step.
+func (m *Monitor) Observe(p procset.ID) {
+	if p < 1 || procset.ID(m.n) < p {
+		panic(fmt.Sprintf("obs: step by %v outside Π%d", p, m.n))
+	}
+	m.steps++
+	if m.ring != nil {
+		m.ring[m.ringPos] = p
+		m.ringPos++
+		if m.ringPos == len(m.ring) {
+			m.ringPos = 0
+		}
+		if m.ringLen < len(m.ring) {
+			m.ringLen++
+		}
+	}
+	for ci := range m.classes {
+		cl := &m.classes[ci]
+		for gi := range cl.groups {
+			g := &cl.groups[gi]
+			if g.p.Contains(p) {
+				// A P-step closes every P-free window of this group.
+				for k := range g.qs {
+					e := &g.qs[k]
+					if e.gap > e.maxGap {
+						e.maxGap = e.gap
+					}
+					e.gap = 0
+				}
+			} else {
+				for k := range g.qs {
+					e := &g.qs[k]
+					if e.q.Contains(p) {
+						e.gap++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ObserveBlock feeds a block of steps — the shape sched.Tap delivers, so
+// wiring a monitor to a run is one line:
+//
+//	runner.Run(sched.Tap(src, monitor.ObserveBlock), maxSteps, every, stop)
+func (m *Monitor) ObserveBlock(block []procset.ID) {
+	for _, p := range block {
+		m.Observe(p)
+	}
+}
+
+// Reset reverts the monitor to its initial state (all gaps zero, no steps
+// observed), retaining its configuration and allocations.
+func (m *Monitor) Reset() {
+	m.steps = 0
+	m.ringPos, m.ringLen = 0, 0
+	for ci := range m.classes {
+		cl := &m.classes[ci]
+		for gi := range cl.groups {
+			g := &cl.groups[gi]
+			for k := range g.qs {
+				g.qs[k].gap, g.qs[k].maxGap = 0, 0
+			}
+		}
+	}
+}
+
+// class returns the tracked class (i, j), or nil.
+func (m *Monitor) class(i, j int) *classState {
+	for ci := range m.classes {
+		if m.classes[ci].i == i && m.classes[ci].j == j {
+			return &m.classes[ci]
+		}
+	}
+	return nil
+}
+
+// MaxQGap returns the maximal number of Q-steps in any P-free window of the
+// observed prefix — sched.MaxQGap of the same prefix, answered online. The
+// pair's size class must be tracked; it panics otherwise (a configuration
+// error, not a runtime condition).
+func (m *Monitor) MaxQGap(p, q procset.Set) int {
+	cl := m.class(p.Size(), q.Size())
+	if cl == nil {
+		panic(fmt.Sprintf("obs: size class (%d,%d) not tracked", p.Size(), q.Size()))
+	}
+	for gi := range cl.groups {
+		if cl.groups[gi].p != p {
+			continue
+		}
+		for k := range cl.groups[gi].qs {
+			e := &cl.groups[gi].qs[k]
+			if e.q == q {
+				// The trailing (still open) window counts, as in the batch
+				// extractor.
+				if e.gap > e.maxGap {
+					return int(e.gap)
+				}
+				return int(e.maxGap)
+			}
+		}
+	}
+	panic(fmt.Sprintf("obs: pair (%v,%v) not tracked", p, q))
+}
+
+// MinBound returns the smallest Definition 1 bound with which P is timely
+// w.r.t. Q on the observed prefix (sched.MinBound, online).
+func (m *Monitor) MinBound(p, q procset.Set) int { return m.MaxQGap(p, q) + 1 }
+
+// IsTimely reports whether P is timely w.r.t. Q with the given bound on the
+// observed prefix (sched.IsTimely, online).
+func (m *Monitor) IsTimely(p, q procset.Set, bound int) bool {
+	if bound < 1 {
+		return false
+	}
+	return m.MaxQGap(p, q) < bound
+}
+
+// Best returns the pair of the tracked class (i, j) with the smallest
+// minimal bound, breaking ties exactly like sched.BestPair (canonical set
+// order on P then Q). It panics when the class is not tracked.
+func (m *Monitor) Best(i, j int) sched.TimelyPair {
+	cl := m.class(i, j)
+	if cl == nil {
+		panic(fmt.Sprintf("obs: size class (%d,%d) not tracked", i, j))
+	}
+	best := sched.TimelyPair{MinBound: math.MaxInt}
+	for gi := range cl.groups {
+		g := &cl.groups[gi]
+		for k := range g.qs {
+			e := &g.qs[k]
+			gap := e.maxGap
+			if e.gap > gap {
+				gap = e.gap
+			}
+			if b := int(gap) + 1; b < best.MinBound {
+				best = sched.TimelyPair{P: g.p, Q: e.q, MinBound: b}
+			}
+		}
+	}
+	return best
+}
+
+// InSystem reports whether the observed prefix (extended arbitrarily while
+// keeping the witnessed bounds) belongs to S^i_{j,n}: some tracked i-set is
+// timely w.r.t. some j-set with the given bound — sched.InSystem, online.
+func (m *Monitor) InSystem(i, j, bound int) bool {
+	if i > j {
+		return false
+	}
+	return m.Best(i, j).MinBound <= bound
+}
+
+// SystemStatus is one row of the online timeliness graph: whether the class
+// S^i_{j,n} currently holds with the probed bound, and the best witness.
+type SystemStatus struct {
+	I int `json:"i"`
+	J int `json:"j"`
+	// Held reports Best.MinBound ≤ the probed bound.
+	Held bool `json:"held"`
+	// Best is the class's best pair and its minimal witnessed bound.
+	Best sched.TimelyPair `json:"-"`
+	// BestP/BestQ/MinBound mirror Best for JSON emission.
+	BestP    string `json:"p"`
+	BestQ    string `json:"q"`
+	MinBound int    `json:"min_bound"`
+}
+
+// Graph returns the online timeliness graph over every tracked class, in
+// construction order: which systems of the family the observed prefix
+// belongs to with the probed bound, each with its best witness pair.
+func (m *Monitor) Graph(bound int) []SystemStatus {
+	out := make([]SystemStatus, 0, len(m.classes))
+	for ci := range m.classes {
+		cl := &m.classes[ci]
+		best := m.Best(cl.i, cl.j)
+		out = append(out, SystemStatus{
+			I: cl.i, J: cl.j,
+			Held:     best.MinBound <= bound,
+			Best:     best,
+			BestP:    best.P.String(),
+			BestQ:    best.Q.String(),
+			MinBound: best.MinBound,
+		})
+	}
+	return out
+}
+
+// WindowSchedule materializes the retained sliding window (the last
+// min(Window, Steps) observed steps, oldest first). It returns nil when the
+// monitor was built without a window.
+func (m *Monitor) WindowSchedule() sched.Schedule {
+	if m.ring == nil {
+		return nil
+	}
+	out := make(sched.Schedule, 0, m.ringLen)
+	start := m.ringPos - m.ringLen
+	if start < 0 {
+		start += len(m.ring)
+	}
+	for i := 0; i < m.ringLen; i++ {
+		out = append(out, m.ring[(start+i)%len(m.ring)])
+	}
+	return out
+}
+
+// RecentBest answers Best over the sliding window only — "which (i, j)-pair
+// is timely *right now*" — by batch analysis of the retained ring (the
+// window is bounded, so recomputation is cheap relative to feeding). It
+// panics when the monitor has no window.
+func (m *Monitor) RecentBest(i, j int) sched.TimelyPair {
+	if m.ring == nil {
+		panic("obs: RecentBest on a monitor without a window")
+	}
+	return sched.BestPair(m.WindowSchedule(), m.n, i, j)
+}
+
+// RecentGraph is Graph over the sliding window only.
+func (m *Monitor) RecentGraph(bound int) []SystemStatus {
+	if m.ring == nil {
+		panic("obs: RecentGraph on a monitor without a window")
+	}
+	win := m.WindowSchedule()
+	out := make([]SystemStatus, 0, len(m.classes))
+	for ci := range m.classes {
+		cl := &m.classes[ci]
+		best := sched.BestPair(win, m.n, cl.i, cl.j)
+		out = append(out, SystemStatus{
+			I: cl.i, J: cl.j,
+			Held:     best.MinBound <= bound,
+			Best:     best,
+			BestP:    best.P.String(),
+			BestQ:    best.Q.String(),
+			MinBound: best.MinBound,
+		})
+	}
+	return out
+}

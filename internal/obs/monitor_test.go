@@ -1,0 +1,389 @@
+package obs
+
+import (
+	"context"
+	"slices"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/campaign"
+	"github.com/settimeliness/settimeliness/internal/experiments"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// mustMonitor builds a full-family monitor or fails the test.
+func mustMonitor(t *testing.T, cfg MonitorConfig) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkAgainstBatch compares every query of m against the batch extractor on
+// the schedule m observed. This is the plane's core contract: online answers
+// are bit-identical to sched's offline ones on the same prefix.
+func checkAgainstBatch(t *testing.T, m *Monitor, s sched.Schedule, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			for _, p := range procset.KSubsets(n, i) {
+				for _, q := range procset.KSubsets(n, j) {
+					want := sched.MaxQGap(s, p, q)
+					if got := m.MaxQGap(p, q); got != want {
+						t.Fatalf("MaxQGap(%v,%v) = %d, batch says %d", p, q, got, want)
+					}
+					if got, want := m.MinBound(p, q), sched.MinBound(s, p, q); got != want {
+						t.Fatalf("MinBound(%v,%v) = %d, batch says %d", p, q, got, want)
+					}
+					for _, b := range []int{0, 1, want, want + 1} {
+						if got, w := m.IsTimely(p, q, b), sched.IsTimely(s, p, q, b); got != w {
+							t.Fatalf("IsTimely(%v,%v,%d) = %v, batch says %v", p, q, b, got, w)
+						}
+					}
+				}
+			}
+			if got, want := m.Best(i, j), sched.BestPair(s, n, i, j); got != want {
+				t.Fatalf("Best(%d,%d) = %+v, batch says %+v", i, j, got, want)
+			}
+			for b := 1; b <= 6; b++ {
+				if got, want := m.InSystem(i, j, b), sched.InSystem(s, n, i, j, b); got != want {
+					t.Fatalf("InSystem(%d,%d,%d) = %v, batch says %v", i, j, b, got, want)
+				}
+			}
+		}
+	}
+	// i > j is outside the family for both sides.
+	if n >= 2 && m.InSystem(2, 1, 100) {
+		t.Fatal("InSystem(2,1,·) must be false (family requires i ≤ j)")
+	}
+}
+
+// mustSource builds one of the test generators by kind.
+func mustSource(t *testing.T, kind string, n int, seed int64) sched.Source {
+	t.Helper()
+	var (
+		src sched.Source
+		err error
+	)
+	switch kind {
+	case "roundrobin":
+		src, err = sched.RoundRobin(n, map[procset.ID]int{1: 3})
+	case "random":
+		src, err = sched.Random(n, seed, nil)
+	case "random-crash":
+		src, err = sched.Random(n, seed, map[procset.ID]int{procset.ID(n): 7})
+	case "starver":
+		src, err = sched.RotatingStarver(n, 1+int(uint64(seed)%uint64(n-1)), 1)
+	case "figure1":
+		src, err = sched.Figure1(n, 1, 2, 3)
+	case "system":
+		src, _, err = sched.System(n, 1, 2, 3, seed, nil)
+	default:
+		t.Fatalf("unknown kind %q", kind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// The monitor agrees with the batch extractor on every query, across every
+// generator family the repo ships.
+func TestMonitorMatchesBatchExtractor(t *testing.T) {
+	const n, steps = 4, 600
+	for _, kind := range []string{"roundrobin", "random", "random-crash", "starver", "figure1", "system"} {
+		t.Run(kind, func(t *testing.T) {
+			s := sched.Take(mustSource(t, kind, n, 99), steps)
+			m := mustMonitor(t, MonitorConfig{N: n})
+			m.ObserveBlock(s)
+			if m.Steps() != steps {
+				t.Fatalf("Steps() = %d, want %d", m.Steps(), steps)
+			}
+			checkAgainstBatch(t, m, s, n)
+		})
+	}
+}
+
+// Agreement holds at every prefix, not just at the end: the monitor is fed
+// step by step and checked at irregular checkpoints, which is exactly how a
+// live run queries it.
+func TestMonitorIncrementalPrefixes(t *testing.T) {
+	const n = 4
+	s := sched.Take(mustSource(t, "random", n, 7), 500)
+	m := mustMonitor(t, MonitorConfig{N: n})
+	checkpoints := map[int]bool{1: true, 2: true, 17: true, 100: true, 255: true, 256: true, 257: true, 499: true, 500: true}
+	for idx, p := range s {
+		m.Observe(p)
+		if checkpoints[idx+1] {
+			checkAgainstBatch(t, m, s[:idx+1], n)
+		}
+	}
+}
+
+// Fuzz over seeds, generator families, and prefix lengths. Deterministic
+// (the loop is the fuzzer) so CI failures reproduce.
+func TestMonitorFuzzEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short")
+	}
+	kinds := []string{"random", "random-crash", "starver", "system"}
+	for _, n := range []int{2, 3, 5} {
+		for seed := int64(0); seed < 6; seed++ {
+			kind := kinds[int(seed)%len(kinds)]
+			steps := 50 + int(uint64(seed*2654435761)%1500)
+			s := sched.Take(mustSource(t, kind, n, seed+1), steps)
+			m := mustMonitor(t, MonitorConfig{N: n})
+			// Feed in uneven blocks to exercise ObserveBlock boundaries.
+			for len(s) > 0 {
+				k := 1 + int(uint64(len(s)*31+int(seed))%97)
+				if k > len(s) {
+					k = len(s)
+				}
+				m.ObserveBlock(s[:k])
+				s = s[k:]
+			}
+			full := sched.Take(mustSource(t, kind, n, seed+1), steps)
+			checkAgainstBatch(t, m, full, n)
+		}
+	}
+}
+
+// The sliding window retains exactly the last Window steps and Recent*
+// queries analyze only that suffix.
+func TestMonitorWindow(t *testing.T) {
+	const n, steps, window = 4, 300, 64
+	s := sched.Take(mustSource(t, "random", n, 11), steps)
+	m := mustMonitor(t, MonitorConfig{N: n, Window: window})
+	m.ObserveBlock(s)
+
+	win := m.WindowSchedule()
+	if !slices.Equal(win, s[steps-window:]) {
+		t.Fatalf("WindowSchedule = %v, want last %d steps", win, window)
+	}
+	for i := 1; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			if got, want := m.RecentBest(i, j), sched.BestPair(s[steps-window:], n, i, j); got != want {
+				t.Fatalf("RecentBest(%d,%d) = %+v, want %+v", i, j, got, want)
+			}
+		}
+	}
+	rg := m.RecentGraph(4)
+	g := m.Graph(4)
+	if len(rg) != len(g) {
+		t.Fatalf("RecentGraph has %d rows, Graph has %d", len(rg), len(g))
+	}
+
+	// A partially filled window returns only what was observed.
+	m2 := mustMonitor(t, MonitorConfig{N: n, Window: window})
+	m2.ObserveBlock(s[:10])
+	if got := m2.WindowSchedule(); !slices.Equal(got, s[:10]) {
+		t.Fatalf("partial window = %v, want first 10 steps", got)
+	}
+
+	// No window: WindowSchedule degrades to nil, Recent* panics.
+	if m3 := mustMonitor(t, MonitorConfig{N: n}); m3.WindowSchedule() != nil {
+		t.Fatal("windowless monitor returned a window schedule")
+	}
+}
+
+// Reset returns the monitor to a fresh state without reallocation.
+func TestMonitorReset(t *testing.T) {
+	const n = 3
+	m := mustMonitor(t, MonitorConfig{N: n, Window: 16})
+	m.ObserveBlock(sched.Take(mustSource(t, "random", n, 5), 200))
+	m.Reset()
+	if m.Steps() != 0 || m.WindowSchedule() != nil && len(m.WindowSchedule()) != 0 {
+		t.Fatal("Reset left observed state behind")
+	}
+	s := sched.Take(mustSource(t, "starver", n, 2), 150)
+	m.ObserveBlock(s)
+	checkAgainstBatch(t, m, s, n)
+}
+
+// Graph reports one row per tracked class with the batch extractor's best
+// witness, and marks held classes by the probed bound.
+func TestMonitorGraph(t *testing.T) {
+	const n, steps, bound = 4, 400, 4
+	s := sched.Take(mustSource(t, "random", n, 21), steps)
+	m := mustMonitor(t, MonitorConfig{N: n})
+	m.ObserveBlock(s)
+	rows := m.Graph(bound)
+	want := 0
+	for i := 1; i <= n; i++ {
+		want += n - i + 1
+	}
+	if len(rows) != want {
+		t.Fatalf("Graph has %d rows, want %d", len(rows), want)
+	}
+	for _, row := range rows {
+		best := sched.BestPair(s, n, row.I, row.J)
+		if row.Best != best {
+			t.Fatalf("Graph row (%d,%d) best %+v, batch says %+v", row.I, row.J, row.Best, best)
+		}
+		if row.Held != (best.MinBound <= bound) {
+			t.Fatalf("Graph row (%d,%d) held %v with best bound %d, probe %d", row.I, row.J, row.Held, best.MinBound, bound)
+		}
+		if row.BestP != best.P.String() || row.BestQ != best.Q.String() || row.MinBound != best.MinBound {
+			t.Fatalf("Graph row (%d,%d) JSON mirror out of sync: %+v", row.I, row.J, row)
+		}
+	}
+}
+
+// Restricting Sizes tracks only the named classes; untracked queries panic.
+func TestMonitorSizesRestriction(t *testing.T) {
+	const n = 5
+	m := mustMonitor(t, MonitorConfig{N: n, Sizes: [][2]int{{1, n}, {2, n}}})
+	s := sched.Take(mustSource(t, "starver", n, 3), 300)
+	m.ObserveBlock(s)
+	for _, ij := range [][2]int{{1, n}, {2, n}} {
+		if got, want := m.Best(ij[0], ij[1]), sched.BestPair(s, n, ij[0], ij[1]); got != want {
+			t.Fatalf("Best%v = %+v, batch says %+v", ij, got, want)
+		}
+	}
+	if len(m.Graph(4)) != 2 {
+		t.Fatalf("Graph has %d rows, want 2", len(m.Graph(4)))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("query of untracked class did not panic")
+			}
+		}()
+		m.Best(3, 4)
+	}()
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	cases := []MonitorConfig{
+		{N: 0},
+		{N: procset.MaxProcs + 1},
+		{N: 7}, // full family beyond the implicit limit
+		{N: 4, Window: -1},
+		{N: 4, Sizes: [][2]int{{2, 1}}},
+		{N: 4, Sizes: [][2]int{{0, 2}}},
+		{N: 4, Sizes: [][2]int{{1, 5}}},
+	}
+	for _, cfg := range cases {
+		if _, err := NewMonitor(cfg); err == nil {
+			t.Fatalf("NewMonitor(%+v) accepted an invalid config", cfg)
+		}
+	}
+	// Large n is fine with explicit classes.
+	if _, err := NewMonitor(MonitorConfig{N: 12, Sizes: [][2]int{{1, 12}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The monitor, fed the exact schedule population of the relations campaign,
+// reproduces the campaign's empirical timeliness graph: for every job the
+// per-class membership verdicts agree, so the aggregated tallies do too.
+// This ties the online plane to the repo's batch experiment end to end.
+func TestMonitorMatchesRelationsCampaign(t *testing.T) {
+	cfg := experiments.RelationsConfig{
+		N: 4, Bound: 4, Steps: 400, Schedules: 10,
+		Generator: "mixed", Workers: 2,
+	}
+	const seed = 1234
+	report, err := experiments.RunRelationsCampaign(context.Background(), cfg, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the population from the campaign's derived seeds and tally
+	// membership through the monitor instead of the batch extractor.
+	tallies := map[string]int{}
+	m := mustMonitor(t, MonitorConfig{N: cfg.N})
+	for idx := 0; idx < cfg.Schedules; idx++ {
+		jobSeed := campaign.SeedFor(seed, idx)
+		var (
+			src sched.Source
+			err error
+		)
+		if idx%2 == 0 {
+			src, err = sched.Random(cfg.N, jobSeed, nil)
+		} else {
+			k := int(uint64(jobSeed)%uint64(cfg.N-1)) + 1
+			src, err = sched.RotatingStarver(cfg.N, k, 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Reset()
+		m.ObserveBlock(sched.Take(src, cfg.Steps))
+		for i := 1; i <= cfg.N; i++ {
+			for j := i; j <= cfg.N; j++ {
+				if m.InSystem(i, j, cfg.Bound) {
+					tallies[experiments.RelationKey(i, j)]++
+				}
+			}
+		}
+	}
+	for i := 1; i <= cfg.N; i++ {
+		for j := i; j <= cfg.N; j++ {
+			key := experiments.RelationKey(i, j)
+			if got, want := tallies[key], report.Summary.Tallies[key]; got != want {
+				t.Fatalf("monitor tallied %s = %d, campaign reports %d", key, got, want)
+			}
+		}
+	}
+}
+
+// End-to-end through the engine: a machine-mode runner driven on the
+// batched fast path through a tapped source feeds the monitor exactly the
+// executed schedule, and the run itself is bit-identical to an untapped
+// one (same final register value, same step counters).
+func TestMonitorTapFeedThroughRunner(t *testing.T) {
+	const n, steps = 4, 2048
+	m := mustMonitor(t, MonitorConfig{N: n})
+
+	drive := func(src sched.Source) sim.Stats {
+		t.Helper()
+		r, err := sim.NewRunner(sim.Config{
+			N: n,
+			Machine: func(p procset.ID, regs sim.Registry) sim.Machine {
+				return &pingMachine{reg: regs.Reg("ping")}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		res := r.RunBatch(src, steps, 0, nil)
+		if res.Steps != steps {
+			t.Fatalf("run executed %d steps, want %d", res.Steps, steps)
+		}
+		return r.Stats()
+	}
+
+	wantStats := drive(mustSource(t, "random", n, 77))
+	tapped := sched.Tap(mustSource(t, "random", n, 77), m.ObserveBlock)
+	if gotStats := drive(tapped); gotStats != wantStats {
+		t.Fatalf("tapped run diverged: stats %+v vs %+v", gotStats, wantStats)
+	}
+	if m.Steps() != steps {
+		t.Fatalf("monitor observed %d steps, want %d", m.Steps(), steps)
+	}
+	// The monitor saw the same schedule the runner executed: its graph
+	// matches the batch extractor on an identically drawn prefix.
+	want := sched.Take(mustSource(t, "random", n, 77), steps)
+	checkAgainstBatch(t, m, want, n)
+}
+
+// pingMachine alternately writes a constant and reads it back — the
+// smallest machine exercising both op kinds on the batch loop.
+type pingMachine struct {
+	reg   sim.Ref
+	reads bool
+}
+
+func (pm *pingMachine) Next(prev any) (sim.Op, bool) {
+	if pm.reads {
+		pm.reads = false
+		return sim.ReadOp(pm.reg), true
+	}
+	pm.reads = true
+	return sim.WriteOp(pm.reg, 7), true
+}

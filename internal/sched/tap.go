@@ -1,0 +1,43 @@
+package sched
+
+import "github.com/settimeliness/settimeliness/internal/procset"
+
+// tapSource wraps a Source and reports every step drawn from it to a
+// callback, in blocks. It is how online monitors observe a run without the
+// simulator knowing they exist: the runner's batched loop prefetches
+// schedule entries through FillBlock, so the callback fires once per
+// prefetched block — the "batch boundary" of the observability plane — and
+// never inside the stepping loop. The wrapper preserves BlockSource, so a
+// tapped generator stays on the batch fast path.
+type tapSource struct {
+	inner Source
+	fn    func([]procset.ID)
+	buf   [1]procset.ID
+}
+
+// Tap returns a Source that delegates to src and reports every step drawn
+// from it to fn, in the blocks the consumer requests them in (single-step
+// Next calls arrive as one-element blocks). The slice passed to fn is only
+// valid during the call. fn runs on the goroutine driving the source.
+//
+// Steps are reported when *drawn*, which on the simulator's batched loop is
+// just before the block executes; a stop predicate cannot end the run
+// mid-block, so every reported step is eventually executed, in order.
+func Tap(src Source, fn func(block []procset.ID)) Source {
+	return &tapSource{inner: src, fn: fn}
+}
+
+func (t *tapSource) Next() procset.ID {
+	p := t.inner.Next()
+	t.buf[0] = p
+	t.fn(t.buf[:])
+	return p
+}
+
+func (t *tapSource) NextBlock(dst []procset.ID) {
+	FillBlock(t.inner, dst)
+	t.fn(dst)
+}
+
+func (t *tapSource) N() int               { return t.inner.N() }
+func (t *tapSource) Correct() procset.Set { return t.inner.Correct() }

@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// A tapped source must be invisible to its consumer: the same steps, in the
+// same order, with the callback seeing exactly the drawn steps.
+func TestTapTransparent(t *testing.T) {
+	plain, err := Random(4, 42, map[procset.ID]int{3: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := Random(4, 42, map[procset.ID]int{3: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen Schedule
+	tapped := Tap(inner, func(block []procset.ID) {
+		seen = append(seen, block...)
+	})
+	if tapped.N() != 4 || tapped.Correct() != plain.Correct() {
+		t.Fatalf("tap changed N/Correct: %d %v", tapped.N(), tapped.Correct())
+	}
+
+	want := Take(plain, 1000)
+	got := Take(tapped, 1000)
+	if !slices.Equal(got, want) {
+		t.Fatal("tapped source diverged from untapped source")
+	}
+	if !slices.Equal(seen, want) {
+		t.Fatalf("callback saw %d steps, want the full drawn schedule", len(seen))
+	}
+}
+
+// Single-step draws arrive at the callback as one-element blocks.
+func TestTapNextReportsSingles(t *testing.T) {
+	inner, err := RoundRobin(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks, steps int
+	tapped := Tap(inner, func(block []procset.ID) {
+		blocks++
+		steps += len(block)
+	})
+	for i := 0; i < 7; i++ {
+		tapped.Next()
+	}
+	if blocks != 7 || steps != 7 {
+		t.Fatalf("got %d blocks / %d steps, want 7 / 7", blocks, steps)
+	}
+}
+
+// Block draws are reported once per block, preserving the BlockSource fast
+// path: a consumer requesting blocks of 64 triggers one callback per block.
+func TestTapBlockGranularity(t *testing.T) {
+	inner, err := RoundRobin(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	tapped := Tap(inner, func(block []procset.ID) {
+		sizes = append(sizes, len(block))
+	})
+	bs, ok := tapped.(BlockSource)
+	if !ok {
+		t.Fatal("tapped source lost BlockSource")
+	}
+	buf := make([]procset.ID, 64)
+	bs.NextBlock(buf)
+	bs.NextBlock(buf[:10])
+	if len(sizes) != 2 || sizes[0] != 64 || sizes[1] != 10 {
+		t.Fatalf("block sizes = %v, want [64 10]", sizes)
+	}
+}

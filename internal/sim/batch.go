@@ -45,7 +45,11 @@ func (r *Runner) RunBatch(src sched.Source, maxSteps, checkEvery int, stop func(
 	if r.closed {
 		panic("sim: Step after Close")
 	}
-	var buf [batchBlock]procset.ID
+	// The prefetch buffer lives on the runner: handed to the schedule source
+	// through an interface it would escape, costing one 2 KiB heap
+	// allocation per RunBatch call — visible to the zero-overhead guard now
+	// that short pooled runs call RunBatch millions of times per campaign.
+	buf := &r.batchBuf
 	executed := 0
 	for executed < maxSteps {
 		// Steps until the next stop check (or the end of the run): the whole
@@ -81,6 +85,12 @@ func (r *Runner) RunBatch(src sched.Source, maxSteps, checkEvery int, stop func(
 // as under Step.
 func (r *Runner) stepBlock(block []procset.ID) {
 	procs := r.procs
+	// Metrics accumulate in block-local counters folded at the end of the
+	// block — never a runner-field store per step — and the flight recorder,
+	// nil unless a debugging session attached one, costs one predictable
+	// branch per step while detached.
+	fr := r.flight
+	var reads, writes, noops int64
 	for _, p := range block {
 		if p < 1 || procset.ID(len(procs)) < p {
 			panic(fmt.Sprintf("sim: process %v outside Π%d", p, len(procs)))
@@ -88,20 +98,33 @@ func (r *Runner) stepBlock(block []procset.ID) {
 		pr := procs[p-1]
 		r.steps++
 		if pr.isHalted {
+			noops++
+			if fr != nil {
+				fr.record(r.steps-1, p, OpNoop, -1)
+			}
 			continue
 		}
 		if !pr.started {
 			pr.started = true
 			r.advanceMachine(pr, nil)
 			if pr.isHalted {
+				noops++
+				if fr != nil {
+					fr.record(r.steps-1, p, OpNoop, -1)
+				}
 				continue
 			}
 		}
 		var prev any
 		if pr.nextKind == OpRead {
 			prev = pr.nextReg.value
+			reads++
 		} else {
 			pr.nextReg.value = pr.nextValue
+			writes++
+		}
+		if fr != nil {
+			fr.record(r.steps-1, p, pr.nextKind, pr.nextReg.id)
 		}
 		pr.stepCount++
 		if pm := pr.ptrMachine; pm != nil {
@@ -137,4 +160,7 @@ func (r *Runner) stepBlock(block []procset.ID) {
 			pr.nextValue = op.Value
 		}
 	}
+	r.stats.reads += reads
+	r.stats.writes += writes
+	r.stats.noops += noops
 }

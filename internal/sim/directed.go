@@ -79,17 +79,20 @@ func (r *Runner) stepDirected(d Director) {
 	pr := r.procAt(p)
 	r.steps++
 	if pr.isHalted {
+		r.recordStep(r.steps-1, p, OpNoop, -1)
 		return
 	}
 	if !pr.started {
 		pr.started = true
 		r.advanceMachine(pr, nil)
 		if pr.isHalted {
+			r.recordStep(r.steps-1, p, OpNoop, -1)
 			return
 		}
 	}
 	reg := pr.nextReg
 	pr.stepCount++
+	r.recordStep(r.steps-1, p, pr.nextKind, reg.id)
 	var prev, wrote any
 	isWrite := pr.nextKind == OpWrite
 	if isWrite {

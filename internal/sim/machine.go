@@ -82,6 +82,7 @@ func (f MachineFunc) Next(prev any) (Op, bool) { return f(prev) }
 func (r *Runner) stepMachine(pr *proc, info *StepInfo) {
 	if pr.isHalted {
 		info.Kind = OpNoop
+		r.recordStep(info.Index, pr.id, OpNoop, -1)
 		return
 	}
 	if !pr.started {
@@ -91,11 +92,13 @@ func (r *Runner) stepMachine(pr *proc, info *StepInfo) {
 		r.advanceMachine(pr, nil)
 		if pr.isHalted {
 			info.Kind = OpNoop
+			r.recordStep(info.Index, pr.id, OpNoop, -1)
 			return
 		}
 	}
 	reg := pr.nextReg
 	pr.stepCount++
+	r.recordStep(info.Index, pr.id, pr.nextKind, reg.id)
 	switch pr.nextKind {
 	case OpRead:
 		v := reg.value

@@ -392,6 +392,16 @@ type Runner struct {
 	observer func(StepInfo)
 	steps    int
 	closed   bool
+
+	// Observability plane (stats.go, flight.go): plain counters folded at
+	// block boundaries, and the off-by-default last-K-steps ring. Neither
+	// influences a single scheduling or memory decision.
+	stats  statCounters
+	flight *FlightRecorder
+
+	// batchBuf is RunBatch's schedule prefetch buffer (see batch.go); kept
+	// on the runner so the batched loop allocates nothing per call.
+	batchBuf [batchBlock]procset.ID
 }
 
 // Config configures a Runner. Exactly one of Algorithm and Machine must be
@@ -542,11 +552,13 @@ func (r *Runner) Step(p procset.ID) StepInfo {
 func (r *Runner) stepCoroutine(pr *proc, info *StepInfo) {
 	if !r.fetchPending(pr) {
 		info.Kind = OpNoop
+		r.recordStep(info.Index, pr.id, OpNoop, -1)
 		return
 	}
 	req := *pr.pending
 	pr.pending = nil
 	pr.stepCount++
+	r.recordStep(info.Index, pr.id, req.kind, req.reg.id)
 	switch req.kind {
 	case OpRead:
 		v := r.mem.read(req.reg)
@@ -626,6 +638,10 @@ func (r *Runner) Reset() error {
 	// left scans in flight or crashed processes holding leases.
 	r.mem.resetRecyclers()
 	r.steps = 0
+	// Counters cover the current run, mirroring Steps; the flight recorder,
+	// if any, deliberately survives (its ring spans pooled jobs until the
+	// debugging session resets it).
+	r.stats = statCounters{}
 	for _, p := range r.procs {
 		p.isHalted = false
 		p.stepCount = 0

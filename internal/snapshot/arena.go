@@ -186,6 +186,8 @@ type ArenaStats struct {
 	SegmentsNew, SegmentsReused int64
 	// LeasesNew / LeasesReused split lease demand the same way.
 	LeasesNew, LeasesReused int64
+	// Retired counts segments queued for epoch-based reclamation.
+	Retired int64
 	// Reclaimed counts segments returned to the free list by the epoch rule.
 	Reclaimed int64
 	// DeadReclaimed counts segments of dead objects reclaimed directly from
@@ -195,6 +197,10 @@ type ArenaStats struct {
 	Dropped int64
 	// Pins counts borrowed embedded views retained past their scan.
 	Pins int64
+	// ScansBegun / ScansCompleted count scan tickets opened (BeginScan) and
+	// closed at an owned completion (EndScan); tickets closed by replacement
+	// appear only in ScansBegun.
+	ScansBegun, ScansCompleted int64
 	// Resets counts bulk reclamations via ResetRecycler.
 	Resets int64
 }
@@ -220,6 +226,26 @@ func newArena() *Arena {
 
 // Stats returns a snapshot of the arena's activity counters.
 func (a *Arena) Stats() ArenaStats { return a.stats }
+
+// StatsInto implements sim.StatsSource: the arena's recycling gauges under
+// "arena."-prefixed keys, so Runner.RecyclerStats surfaces them to the
+// observability plane without the caller knowing the arena exists.
+func (a *Arena) StatsInto(dst map[string]int64) {
+	s := &a.stats
+	dst["arena.segments_new"] = s.SegmentsNew
+	dst["arena.segments_reused"] = s.SegmentsReused
+	dst["arena.leases_new"] = s.LeasesNew
+	dst["arena.leases_reused"] = s.LeasesReused
+	dst["arena.retired"] = s.Retired
+	dst["arena.reclaimed"] = s.Reclaimed
+	dst["arena.dead_reclaimed"] = s.DeadReclaimed
+	dst["arena.dropped"] = s.Dropped
+	dst["arena.pins"] = s.Pins
+	dst["arena.scans_begun"] = s.ScansBegun
+	dst["arena.scans_completed"] = s.ScansCompleted
+	dst["arena.resets"] = s.Resets
+	dst["arena.epoch"] = a.epoch
+}
 
 // bucket returns the lease free list for slices of the given length.
 func (a *Arena) bucket(size int) *leaseBucket {
@@ -256,6 +282,7 @@ func (a *Arena) newSegment() *segment {
 // well as at EndScan, so reclamation makes progress even on scan-heavy
 // stretches whose tickets close only by replacement.
 func (a *Arena) BeginScan(p procset.ID) {
+	a.stats.ScansBegun++
 	if a.active[p] == 0 {
 		a.nActive++
 	}
@@ -275,6 +302,7 @@ func (a *Arena) BeginScan(p procset.ID) {
 // (the release zeroes lease slots), and their ticket instead dies at the
 // process's next BeginScan.
 func (a *Arena) EndScan(p procset.ID) {
+	a.stats.ScansCompleted++
 	if a.active[p] != 0 {
 		a.active[p] = 0
 		a.nActive--
@@ -301,6 +329,7 @@ func (a *Arena) minActive() int64 {
 // retire queues an overwritten segment for reclamation. Only its writer may
 // call it, and only after the overwrite executed.
 func (a *Arena) retire(seg *segment) {
+	a.stats.Retired++
 	a.retired = append(a.retired, retiredSeg{seg: seg, epoch: a.epoch})
 	if len(a.retired)-a.retiredHead > retireCap {
 		// Reclamation has stalled (a crashed process froze a scan). Abandon
