@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
@@ -23,32 +25,68 @@ import (
 )
 
 func main() {
+	// The profile writers below are deferred; funnel every exit through a
+	// normal return so they run (os.Exit would truncate the CPU profile).
+	os.Exit(mainRun())
+}
+
+func mainRun() int {
 	var (
-		quick    = flag.Bool("quick", false, "reduced budgets")
-		id       = flag.String("id", "", "run a single experiment (E1..E9)")
-		seed     = flag.Int64("seed", 1, "base seed")
-		markdown = flag.Bool("markdown", false, "emit tables as markdown")
-		jsonOut  = flag.Bool("json", false, "emit one JSON record per experiment (for perf tracking)")
-		gogc     = flag.Int("gogc", 400, "GC target percentage for this batch run (0 leaves the runtime default); the BG experiments allocate an immutable value per write step, and a short-lived batch tool prefers fewer collections over a small heap")
-		pprof    = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address while the suite runs (e.g. localhost:6060)")
+		quick      = flag.Bool("quick", false, "reduced budgets")
+		id         = flag.String("id", "", "run a single experiment (E1..E9)")
+		seed       = flag.Int64("seed", 1, "base seed")
+		markdown   = flag.Bool("markdown", false, "emit tables as markdown")
+		jsonOut    = flag.Bool("json", false, "emit one JSON record per experiment (for perf tracking)")
+		gogc       = flag.Int("gogc", 400, "GC target percentage for this batch run (0 leaves the runtime default); the BG experiments allocate an immutable value per write step, and a short-lived batch tool prefers fewer collections over a small heap")
+		pprofAddr  = flag.String("pprof", "", "serve pprof and expvar debug endpoints on this address while the suite runs (e.g. localhost:6060)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file (the PGO recipe: run -quick -cpuprofile and commit the output as cmd/stm-bench/default.pgo)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file when the suite finishes")
 	)
 	flag.Parse()
 	if *gogc > 0 && os.Getenv("GOGC") == "" {
 		debug.SetGCPercent(*gogc)
 	}
-	if *pprof != "" {
-		ds, err := obs.ServeDebug(*pprof)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
-			os.Exit(1)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		ds, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
+			return 1
 		}
 		defer ds.Close()
 		fmt.Fprintf(os.Stderr, "stm-bench: debug endpoints on http://%s/debug/\n", ds.Addr())
 	}
 	if err := run(os.Stdout, *quick, *id, *seed, *markdown, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "stm-bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // benchRecord is the -json line emitted per experiment: enough to track the

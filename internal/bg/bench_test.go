@@ -11,6 +11,10 @@ import (
 // property-(ii) measurement: m simulators over threads simulated threads,
 // machine mode, no observer (the recycled configuration).
 func newBenchSim(b *testing.B, m, threads int) (*Simulation, *sim.Runner, sched.Source) {
+	return newBenchSimForm(b, m, threads, false)
+}
+
+func newBenchSimForm(b *testing.B, m, threads int, chained bool) (*Simulation, *sim.Runner, sched.Source) {
 	b.Helper()
 	inputs := make([]int, threads+1)
 	for i := 1; i <= threads; i++ {
@@ -24,7 +28,11 @@ func newBenchSim(b *testing.B, m, threads int) (*Simulation, *sim.Runner, sched.
 	if err != nil {
 		b.Fatal(err)
 	}
-	runner, err := sim.NewRunner(sim.Config{N: m, Machine: simn.Machine})
+	factory := simn.Machine
+	if chained {
+		factory = simn.ChainedMachine
+	}
+	runner, err := sim.NewRunner(sim.Config{N: m, Machine: factory})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -41,6 +49,28 @@ func newBenchSim(b *testing.B, m, threads int) (*Simulation, *sim.Runner, sched.
 // experiment, running on the recycled (epoch-arena) configuration.
 func BenchmarkSimulationSteps(b *testing.B) {
 	_, runner, src := newBenchSim(b, 3, 5)
+	defer runner.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	runner.Run(src, b.N, 0, nil)
+}
+
+// BenchmarkBGFusedStep measures the fused automaton (the production machine
+// form, same workload as BenchmarkSimulationSteps) under its own name so the
+// fused-vs-chained dispatch cost is visible side by side in bench reports.
+func BenchmarkBGFusedStep(b *testing.B) {
+	_, runner, src := newBenchSimForm(b, 3, 5, false)
+	defer runner.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	runner.Run(src, b.N, 0, nil)
+}
+
+// BenchmarkBGChainedStep measures the chained sub-automata form (the
+// equivalence reference) on the identical workload — the before side of the
+// fusion: every step descends the propose → update → scan feed chain.
+func BenchmarkBGChainedStep(b *testing.B) {
+	_, runner, src := newBenchSimForm(b, 3, 5, true)
 	defer runner.Close()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -278,10 +278,12 @@ type simMachine struct {
 	resv    *SAResolveMachine
 }
 
-// Machine returns the direct-dispatch code of simulator p, the machine-mode
-// analogue of Algorithm: the returned factory value suits sim.Config.Machine
-// for a runner of size m.
-func (s *Simulation) Machine(p procset.ID, regs sim.Registry) sim.Machine {
+// ChainedMachine returns the sub-automaton-composed direct-dispatch code of
+// simulator p: the original machine port, kept as the equivalence reference
+// between the coroutine seed (Algorithm) and the fused production machine
+// (Machine). The returned factory value suits sim.Config.Machine for a
+// runner of size m.
+func (s *Simulation) ChainedMachine(p procset.ID, regs sim.Registry) sim.Machine {
 	n := s.proto.Threads()
 	m := &simMachine{
 		s:       s,

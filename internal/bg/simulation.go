@@ -55,7 +55,12 @@ type Simulation struct {
 	threadDecisions []any        // first decision per thread (1-based)
 	simAdopted      []any        // first decision observed per simulator (1-based)
 	steps           []ThreadStep // first-resolution order
-	resolved        map[ThreadStep]bool
+	// resolvedRound[i] is the highest round recorded for thread i. A
+	// watermark suffices for first-resolution dedup because rounds resolve in
+	// order per thread: any simulator reaching round r+1 on thread i resolved
+	// (i, r) itself first, so the first record of (i, r+1) always follows one
+	// of (i, r). Replaces a per-resolution map lookup on the hot path.
+	resolvedRound []int
 }
 
 // New builds a simulation with m simulators.
@@ -75,7 +80,7 @@ func New(m int, proto Protocol) (*Simulation, error) {
 		proto:           proto,
 		threadDecisions: make([]any, n+1),
 		simAdopted:      make([]any, m+1),
-		resolved:        make(map[ThreadStep]bool),
+		resolvedRound:   make([]int, n+1),
 	}, nil
 }
 
@@ -85,7 +90,7 @@ func (s *Simulation) Reset() {
 	clear(s.threadDecisions)
 	clear(s.simAdopted)
 	s.steps = s.steps[:0]
-	clear(s.resolved)
+	clear(s.resolvedRound)
 }
 
 // ThreadDecision returns thread i's decision, if the simulation reached one.
@@ -127,10 +132,9 @@ func (s *Simulation) SimulatedSchedule() sched.Schedule {
 func (s *Simulation) Steps() []ThreadStep { return append([]ThreadStep(nil), s.steps...) }
 
 func (s *Simulation) recordResolution(i, r int, decided bool, decision any, p procset.ID) {
-	key := ThreadStep{Thread: i, Round: r}
-	if !s.resolved[key] {
-		s.resolved[key] = true
-		s.steps = append(s.steps, key)
+	if r > s.resolvedRound[i] {
+		s.resolvedRound[i] = r
+		s.steps = append(s.steps, ThreadStep{Thread: i, Round: r})
 	}
 	if decided && s.threadDecisions[i] == nil {
 		s.threadDecisions[i] = decision

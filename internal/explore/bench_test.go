@@ -1,0 +1,24 @@
+package explore
+
+import "testing"
+
+// BenchmarkExhaustiveReducedStates measures the reduced explorer's
+// throughput — prefix states expanded per second, replays included — on the
+// n = 3 consensus sweep, the shape the reduction acceptance test pins.
+func BenchmarkExhaustiveReducedStates(b *testing.B) {
+	build, err := PooledTargetBuilder(TargetConsensus, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states int64
+	for i := 0; i < b.N; i++ {
+		stats, err := ExhaustiveReduced(3, 8, build)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states += int64(stats.States)
+	}
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
+}

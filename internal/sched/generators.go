@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 
 	"github.com/settimeliness/settimeliness/internal/procset"
@@ -109,7 +110,7 @@ type random struct {
 	crashAfter map[procset.ID]int // retained for Correct()
 	limit      []int              // indexed by process; -1 = never crashes
 	taken      []int
-	rng        *rand.Rand // PCG-backed: ~5 ns per draw on the batch loop
+	pcg        *rand.PCG // drawn from directly: see intN
 }
 
 // Random returns a seeded uniformly random source over the live processes.
@@ -123,7 +124,7 @@ func Random(n int, seed int64, crashAfter map[procset.ID]int) (Source, error) {
 		crashAfter: crashAfter,
 		limit:      make([]int, n+1),
 		taken:      make([]int, n+1),
-		rng:        newRand(seed),
+		pcg:        newPCG(seed),
 	}
 	for p := range r.limit {
 		r.limit[p] = -1
@@ -134,9 +135,29 @@ func Random(n int, seed int64, crashAfter map[procset.ID]int) (Source, error) {
 	return r, nil
 }
 
+// intN draws uniformly from [0, n) with math/rand/v2's bounded-draw
+// algorithm (Lemire's multiply-shift with the below-threshold retry), applied
+// directly to the PCG. Streams are bit-identical to rand.New(pcg).IntN(n) —
+// seeds reproduce the exact schedules they always did — but the draw skips
+// the rand.Rand wrapper's Source interface dispatch, which was a measurable
+// slice of every batched campaign step.
+func (r *random) intN(n uint64) uint64 {
+	if n&(n-1) == 0 {
+		return r.pcg.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.pcg.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.pcg.Uint64(), n)
+		}
+	}
+	return hi
+}
+
 func (r *random) Next() procset.ID {
 	for {
-		p := r.rng.IntN(r.n) + 1
+		p := int(r.intN(uint64(r.n))) + 1
 		lim := r.limit[p]
 		if lim < 0 {
 			return procset.ID(p)
@@ -406,5 +427,12 @@ func System(n, i, j int, bound int, seed int64, crashAfter map[procset.ID]int) (
 // math/rand generator was 10–15% of every BG step. Schedules remain fully
 // determined by the seed; the uniform distribution is unchanged.
 func newRand(seed int64) *rand.Rand {
-	return rand.New(rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15))
+	return rand.New(newPCG(seed))
+}
+
+// newPCG is the shared PCG construction, so sources that draw from the
+// generator directly (see random.intN) produce the same streams as those
+// going through rand.Rand.
+func newPCG(seed int64) *rand.PCG {
+	return rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand/v2"
 	"testing"
 
 	"github.com/settimeliness/settimeliness/internal/procset"
@@ -370,3 +371,24 @@ type liarSource struct{}
 func (liarSource) Next() procset.ID     { return 1 }
 func (liarSource) N() int               { return 3 }
 func (liarSource) Correct() procset.Set { return procset.MakeSet(1, 2) }
+
+// TestRandomIntNMatchesRandV2 pins random.intN to math/rand/v2's bounded
+// draw: the direct-PCG fast path must produce bit-identical streams to
+// rand.New(PCG).IntN for every modulus the sources use, or seeds would stop
+// reproducing historical schedules.
+func TestRandomIntNMatchesRandV2(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 100} {
+		for seed := int64(0); seed < 4; seed++ {
+			r := &random{n: n, pcg: newPCG(seed)}
+			ref := rand.New(newPCG(seed))
+			for i := 0; i < 2000; i++ {
+				got := int(r.intN(uint64(n)))
+				want := ref.IntN(n)
+				if got != want {
+					t.Fatalf("n=%d seed=%d draw %d: intN = %d, rand/v2 = %d", n, seed, i, got, want)
+				}
+			}
+		}
+	}
+}

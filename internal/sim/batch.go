@@ -85,6 +85,11 @@ func (r *Runner) RunBatch(src sched.Source, maxSteps, checkEvery int, stop func(
 // as under Step.
 func (r *Runner) stepBlock(block []procset.ID) {
 	procs := r.procs
+	// mem is a stable pointer, but its dense slices must be re-read per step:
+	// a machine's Next may intern a register (mid-run Rebind), growing the
+	// arrays. Indexing through mem each time keeps the loads current; the
+	// slice headers stay in cache regardless.
+	mem := r.mem
 	// Metrics accumulate in block-local counters folded at the end of the
 	// block — never a runner-field store per step — and the flight recorder,
 	// nil unless a debugging session attached one, costs one predictable
@@ -116,15 +121,18 @@ func (r *Runner) stepBlock(block []procset.ID) {
 			}
 		}
 		var prev any
+		id := pr.nextRegID
 		if pr.nextKind == OpRead {
-			prev = pr.nextReg.value
+			prev = mem.values[id]
 			reads++
 		} else {
-			pr.nextReg.value = pr.nextValue
+			mem.values[id] = pr.nextValue
+			mem.writeSeqs[id]++
+			mem.lastWriter[id] = p
 			writes++
 		}
 		if fr != nil {
-			fr.record(r.steps-1, p, pr.nextKind, pr.nextReg.id)
+			fr.record(r.steps-1, p, pr.nextKind, id)
 		}
 		pr.stepCount++
 		if pm := pr.ptrMachine; pm != nil {
@@ -138,7 +146,12 @@ func (r *Runner) stepBlock(block []procset.ID) {
 			if op.Kind != OpRead && op.Kind != OpWrite {
 				panic(badOpKind(op.Kind))
 			}
-			pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+			rr := op.reg
+			if rr == nil {
+				rr = mustRegister(op.Reg)
+			}
+			pr.nextKind, pr.nextReg = op.Kind, rr
+			pr.nextRegID = rr.id
 			if op.Kind == OpWrite {
 				pr.nextValue = op.Value
 			}
@@ -152,7 +165,12 @@ func (r *Runner) stepBlock(block []procset.ID) {
 		if op.Kind != OpRead && op.Kind != OpWrite {
 			panic(badOpKind(op.Kind))
 		}
-		pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+		rr := op.reg
+		if rr == nil {
+			rr = mustRegister(op.Reg)
+		}
+		pr.nextKind, pr.nextReg = op.Kind, rr
+		pr.nextRegID = rr.id
 		if op.Kind == OpWrite {
 			// Reads leave the stale value in place rather than storing a nil
 			// interface: the read path never looks at it, and skipping the

@@ -90,16 +90,19 @@ func (r *Runner) stepDirected(d Director) {
 			return
 		}
 	}
-	reg := pr.nextReg
+	id := pr.nextRegID
 	pr.stepCount++
-	r.recordStep(r.steps-1, p, pr.nextKind, reg.id)
+	r.recordStep(r.steps-1, p, pr.nextKind, id)
 	var prev, wrote any
+	mem := r.mem
 	isWrite := pr.nextKind == OpWrite
 	if isWrite {
 		wrote = pr.nextValue
-		reg.value = wrote
+		mem.values[id] = wrote
+		mem.writeSeqs[id]++
+		mem.lastWriter[id] = p
 	} else {
-		prev = reg.value
+		prev = mem.values[id]
 	}
 	if pm := pr.ptrMachine; pm != nil {
 		op := pm.NextOp(prev)
@@ -109,7 +112,12 @@ func (r *Runner) stepDirected(d Director) {
 			if op.Kind != OpRead && op.Kind != OpWrite {
 				panic(badOpKind(op.Kind))
 			}
-			pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+			rr := op.reg
+			if rr == nil {
+				rr = mustRegister(op.Reg)
+			}
+			pr.nextKind, pr.nextReg = op.Kind, rr
+			pr.nextRegID = rr.id
 			if op.Kind == OpWrite {
 				pr.nextValue = op.Value
 			}
@@ -120,13 +128,18 @@ func (r *Runner) stepDirected(d Director) {
 		if op.Kind != OpRead && op.Kind != OpWrite {
 			panic(badOpKind(op.Kind))
 		}
-		pr.nextKind, pr.nextReg = op.Kind, mustRegister(op.Reg)
+		rr := op.reg
+		if rr == nil {
+			rr = mustRegister(op.Reg)
+		}
+		pr.nextKind, pr.nextReg = op.Kind, rr
+		pr.nextRegID = rr.id
 		if op.Kind == OpWrite {
 			pr.nextValue = op.Value
 		}
 	}
 	if isWrite {
-		d.OnWrite(reg.id, p, wrote)
+		d.OnWrite(id, p, wrote)
 	}
 }
 

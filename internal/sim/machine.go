@@ -13,6 +13,8 @@
 
 package sim
 
+import "github.com/settimeliness/settimeliness/internal/procset"
+
 // Op is the operation a Machine requests from the runner: one read or write
 // of one shared register.
 type Op struct {
@@ -23,13 +25,26 @@ type Op struct {
 	Reg Ref
 	// Value is the value to store for OpWrite; ignored for OpRead.
 	Value any
+	// reg is Reg pre-asserted to the runner's concrete register type, filled
+	// by ReadOp/WriteOp. Machines hand back prebuilt ops (often the same Op
+	// for millions of steps), so resolving at construction spares the
+	// stepping loops a type assertion per step. Nil for literally-constructed
+	// Ops; the loops fall back to the asserting path.
+	reg *register
 }
 
 // ReadOp returns a read request for r.
-func ReadOp(r Ref) Op { return Op{Kind: OpRead, Reg: r} }
+func ReadOp(r Ref) Op { return Op{Kind: OpRead, Reg: r, reg: asRegister(r)} }
 
 // WriteOp returns a write request storing v in r.
-func WriteOp(r Ref, v any) Op { return Op{Kind: OpWrite, Reg: r, Value: v} }
+func WriteOp(r Ref, v any) Op { return Op{Kind: OpWrite, Reg: r, Value: v, reg: asRegister(r)} }
+
+// asRegister resolves a Ref to the concrete register, or nil if it is
+// foreign (reported later by mustRegister with a proper panic).
+func asRegister(r Ref) *register {
+	reg, _ := r.(*register)
+	return reg
+}
 
 // Machine is an explicit process automaton, the direct-dispatch alternative
 // to Algorithm. The runner calls Next with the result of the machine's
@@ -75,6 +90,30 @@ type MachineFunc func(prev any) (Op, bool)
 // Next calls f.
 func (f MachineFunc) Next(prev any) (Op, bool) { return f(prev) }
 
+// PendingOp reports the operation process p will execute when next granted a
+// step, without executing it: the op kind and the target register's dense id.
+// Halted processes report (OpNoop, -1) — their steps are no-ops. Peeking an
+// unstarted machine runs its pre-first-op local computation (exactly the work
+// the first granted step would run), which is unobservable to checks that
+// read op-completion results; the subsequent first step does not repeat it.
+// The partial-order-reduced explorer uses this to compute which pending
+// operations commute. Machine-mode runners only; a coroutine process's next
+// request is not knowable without a rendezvous, so coroutine runners panic.
+func (r *Runner) PendingOp(p procset.ID) (OpKind, RegID) {
+	if r.machine == nil {
+		panic("sim: PendingOp requires a direct-dispatch (Machine) runner")
+	}
+	pr := r.procAt(p)
+	if !pr.started && !pr.isHalted {
+		pr.started = true
+		r.advanceMachine(pr, nil)
+	}
+	if pr.isHalted {
+		return OpNoop, -1
+	}
+	return pr.nextKind, pr.nextRegID
+}
+
 // stepMachine executes one direct-dispatch step of pr: the pending request
 // is applied to shared memory with plain loads/stores, and the machine is
 // advanced in place to produce its next request (its local computation runs
@@ -96,18 +135,20 @@ func (r *Runner) stepMachine(pr *proc, info *StepInfo) {
 			return
 		}
 	}
-	reg := pr.nextReg
+	id := pr.nextRegID
 	pr.stepCount++
-	r.recordStep(info.Index, pr.id, pr.nextKind, reg.id)
+	r.recordStep(info.Index, pr.id, pr.nextKind, id)
 	switch pr.nextKind {
 	case OpRead:
-		v := reg.value
-		info.Kind, info.Reg, info.Value = OpRead, reg.name, v
+		v := r.mem.values[id]
+		info.Kind, info.Reg, info.Value = OpRead, pr.nextReg.name, v
 		r.advanceMachine(pr, v)
 	case OpWrite:
 		v := pr.nextValue
-		reg.value = v
-		info.Kind, info.Reg, info.Value = OpWrite, reg.name, v
+		r.mem.values[id] = v
+		r.mem.writeSeqs[id]++
+		r.mem.lastWriter[id] = pr.id
+		info.Kind, info.Reg, info.Value = OpWrite, pr.nextReg.name, v
 		r.advanceMachine(pr, nil)
 	default:
 		panic(badOpKind(pr.nextKind))
@@ -131,8 +172,13 @@ func (r *Runner) advanceMachine(pr *proc, prev any) {
 		if op.Reg == nil {
 			panic("sim: Machine returned an Op with nil Reg")
 		}
+		rr := op.reg
+		if rr == nil {
+			rr = mustRegister(op.Reg)
+		}
 		pr.nextKind = op.Kind
-		pr.nextReg = mustRegister(op.Reg)
+		pr.nextReg = rr
+		pr.nextRegID = rr.id
 		if op.Kind == OpWrite {
 			pr.nextValue = op.Value
 		}
@@ -149,8 +195,13 @@ func (r *Runner) advanceMachine(pr *proc, prev any) {
 	if op.Reg == nil {
 		panic("sim: Machine returned an Op with nil Reg")
 	}
+	rr := op.reg
+	if rr == nil {
+		rr = mustRegister(op.Reg)
+	}
 	pr.nextKind = op.Kind
-	pr.nextReg = mustRegister(op.Reg)
+	pr.nextReg = rr
+	pr.nextRegID = rr.id
 	if op.Kind == OpWrite {
 		// Reads leave the stale value in place (the read path never looks
 		// at it), sparing an interface store per read step.

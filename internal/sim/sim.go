@@ -134,11 +134,19 @@ type opRequest struct {
 // machine mode the interning order is the (deterministic) construction
 // order; in coroutine mode processes intern concurrently during their
 // initialization, so ids are stable within a runner but not across runners.
+//
+// In machine mode the id is also the index into the memory's
+// struct-of-arrays register plane: values, write-sequence counters, and
+// last-writer metadata live in dense parallel arrays rather than in the
+// register objects, so the stepping loops and the snapshot scan chain walk
+// contiguous memory instead of pointer-chasing interned slot objects.
 type RegID int
 
-// register is one interned shared register. Its value is touched only by
-// the stepping goroutine (processes go through the runner for every memory
-// operation), so value access is lock-free.
+// register is one interned shared register handle. In coroutine mode it also
+// carries the register's value (touched only by the stepping goroutine —
+// processes go through the runner for every memory operation — so value
+// access is lock-free). In machine mode values live in the memory's dense
+// value array instead (see memory.values) and the boxed field stays nil.
 type register struct {
 	name  string
 	id    RegID
@@ -198,6 +206,20 @@ type memory struct {
 	byName map[string]*register
 	slots  []*register
 
+	// The struct-of-arrays register plane, machine mode only: parallel dense
+	// arrays indexed by RegID. values[id] is the register's current value;
+	// writeSeqs[id] counts write steps since construction or the last Reset;
+	// lastWriter[id] is the most recent writer (0 = never written). Machine
+	// mode interns only on the stepping/constructing goroutine (factories,
+	// mid-run Rebind), so the arrays may grow between steps without a lock;
+	// coroutine mode interns concurrently during process initialization and
+	// therefore keeps values boxed in the register objects — a growable dense
+	// array would race with the stepping goroutine there.
+	dense      bool
+	values     []any
+	writeSeqs  []uint32
+	lastWriter []procset.ID
+
 	// recycleOK gates Recycler: set once at construction (machine mode, no
 	// observer) and never changed. Recyclers are only touched from machine
 	// factories and the stepping path, both serial, so no lock is needed.
@@ -205,7 +227,9 @@ type memory struct {
 	recyclers map[any]any
 }
 
-func newMemory() *memory { return &memory{byName: make(map[string]*register)} }
+func newMemory(dense bool) *memory {
+	return &memory{byName: make(map[string]*register), dense: dense}
+}
 
 // Recycler implements RecyclerHost for machine factories.
 func (m *memory) Recycler(key any, create func() any) any {
@@ -224,14 +248,15 @@ func (m *memory) Recycler(key any, create func() any) any {
 }
 
 // TakeValue implements RecyclerHost. Stepping-goroutine only: register
-// values are plain fields owned by the stepping path.
+// values are owned by the stepping path. Recycling implies machine mode, so
+// the value lives in the dense plane.
 func (m *memory) TakeValue(r Ref) any {
 	if !m.recycleOK {
 		panic("sim: TakeValue on a runner that does not permit recycling")
 	}
-	reg := mustRegister(r)
-	v := reg.value
-	reg.value = nil
+	id := mustRegister(r).id
+	v := m.values[id]
+	m.values[id] = nil
 	return v
 }
 
@@ -255,6 +280,11 @@ func (m *memory) reg(name string) *register {
 		r = &register{name: name, id: RegID(len(m.slots))}
 		m.byName[name] = r
 		m.slots = append(m.slots, r)
+		if m.dense {
+			m.values = append(m.values, nil)
+			m.writeSeqs = append(m.writeSeqs, 0)
+			m.lastWriter = append(m.lastWriter, 0)
+		}
 	}
 	return r
 }
@@ -280,11 +310,25 @@ func (m *memory) idOf(name string) RegID {
 	return r.id
 }
 
-// read returns the register's current value. Stepping-goroutine only.
-func (m *memory) read(r *register) any { return r.value }
+// read returns the register's current value, on whichever plane the runner
+// keeps it. Stepping-goroutine only. The machine-mode hot loops index the
+// dense arrays directly instead of calling this.
+func (m *memory) read(r *register) any {
+	if m.dense {
+		return m.values[r.id]
+	}
+	return r.value
+}
 
-// write stores v in the register. Stepping-goroutine only.
-func (m *memory) write(r *register, v any) { r.value = v }
+// write stores v in the register. Stepping-goroutine only; the machine-mode
+// hot loops store into the dense arrays directly instead of calling this.
+func (m *memory) write(r *register, v any) {
+	if m.dense {
+		m.values[r.id] = v
+		return
+	}
+	r.value = v
+}
 
 // size returns the number of interned registers (diagnostics).
 func (m *memory) size() int {
@@ -302,6 +346,9 @@ func (m *memory) resetValues() {
 	for _, r := range m.slots {
 		r.value = nil
 	}
+	clear(m.values)
+	clear(m.writeSeqs)
+	clear(m.lastWriter)
 }
 
 var errKilled = fmt.Errorf("sim: runner closed")
@@ -332,6 +379,7 @@ type proc struct {
 	ptrMachine PtrMachine
 	nextKind   OpKind
 	nextReg    *register
+	nextRegID  RegID // nextReg.id, resolved once so the hot loops index the dense plane without the pointer chase
 	nextValue  any
 	started    bool // whether the machine's first request has been fetched
 }
@@ -436,7 +484,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	r := &Runner{
 		n:         cfg.N,
-		mem:       newMemory(),
+		mem:       newMemory(cfg.Machine != nil),
 		procs:     make([]*proc, cfg.N),
 		kill:      make(chan struct{}),
 		algorithm: cfg.Algorithm,
@@ -510,6 +558,28 @@ func (r *Runner) Registers() int { return r.mem.size() }
 // (0 ≤ id < Registers()). Directed-run observers use it to build per-slot
 // metadata tables once instead of parsing names per step.
 func (r *Runner) RegName(id RegID) string { return r.mem.nameOf(id) }
+
+// RegWrites returns the number of write steps the register with the given
+// dense id has received since construction or the last Reset — the
+// write-sequence counter of the struct-of-arrays register plane. Machine
+// mode only; coroutine runners keep no dense plane and report 0.
+func (r *Runner) RegWrites(id RegID) uint32 {
+	if !r.mem.dense {
+		return 0
+	}
+	return r.mem.writeSeqs[id]
+}
+
+// RegLastWriter returns the process that last wrote the register with the
+// given dense id (0 if it was never written since construction or the last
+// Reset). Machine mode only; coroutine runners keep no dense plane and
+// report 0.
+func (r *Runner) RegLastWriter(id RegID) procset.ID {
+	if !r.mem.dense {
+		return 0
+	}
+	return r.mem.lastWriter[id]
+}
 
 // Halted reports whether the process's automaton has halted.
 func (r *Runner) Halted(p procset.ID) bool {
@@ -650,6 +720,7 @@ func (r *Runner) Reset() error {
 		p.ptrMachine = nil
 		p.nextKind = 0
 		p.nextReg = nil
+		p.nextRegID = 0
 		p.nextValue = nil
 		p.started = false
 		if err := r.start(p); err != nil {

@@ -1,0 +1,161 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// recFusedMachine is recUpdScanMachine on the fused call path: the same
+// alternating Update/Scan workload driven through FusedCall instead of the
+// chained machines, recording every completed scan.
+type recFusedMachine struct {
+	o       *MachineObject
+	self    procset.ID
+	log     *[]recordedView
+	call    *FusedCall
+	inScan  bool
+	seq     int
+	started bool
+}
+
+func (m *recFusedMachine) Next(prev any) (sim.Op, bool) {
+	if !m.started {
+		m.started = true
+		m.seq++
+		m.call, m.inScan = m.o.NewFusedUpdate(m.seq*100), false
+		return *m.call.Start(), true
+	}
+	if op := m.call.Feed(prev); op != nil {
+		return *op, true
+	}
+	if m.inScan {
+		*m.log = append(*m.log, cloneRecord(m.self, m.call.Result()))
+		m.seq++
+		m.call, m.inScan = m.o.NewFusedUpdate(m.seq*100), false
+	} else {
+		m.call, m.inScan = m.o.NewFusedScan(), true
+	}
+	return *m.call.Start(), true
+}
+
+// runRecordedFused is runRecorded's fused twin.
+func runRecordedFused(t *testing.T, n int, s sched.Schedule) ([]recordedView, *Arena) {
+	t.Helper()
+	var (
+		log   []recordedView
+		arena *Arena
+	)
+	r, err := sim.NewRunner(sim.Config{N: n, Machine: func(p procset.ID, regs sim.Registry) sim.Machine {
+		if arena == nil {
+			arena = ArenaFor(regs)
+		}
+		return &recFusedMachine{o: NewMachineObject(regs, "obj", p, n), self: p, log: &log}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(s)
+	return log, arena
+}
+
+// TestFusedCallMatchesChainedAndCoroutine pins the fused automaton's core
+// contract on the snapshot substrate: scan for scan, the fused path returns
+// exactly the views of the chained machines AND the coroutine reference on
+// the same schedule — including crashed writers mid-scan and the borrow,
+// pin, and retire traffic of the recycled arena.
+func TestFusedCallMatchesChainedAndCoroutine(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		n       int
+		seed    int64
+		steps   int
+		crashes map[procset.ID]int
+	}{
+		{"n3-contended", 3, 11, 40_000, nil},
+		{"n4", 4, 5, 60_000, nil},
+		{"n3-crash-midstream", 3, 11, 40_000, map[procset.ID]int{2: 137}},
+		{"n4-two-crashes", 4, 7, 60_000, map[procset.ID]int{1: 53, 4: 999}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			src, err := sched.Random(tc.n, tc.seed, tc.crashes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sched.Take(src, tc.steps)
+			coro, _ := runRecorded(t, tc.n, s, false)
+			chained, _ := runRecorded(t, tc.n, s, true)
+			fused, arena := runRecordedFused(t, tc.n, s)
+			if len(fused) != len(chained) || len(fused) != len(coro) {
+				t.Fatalf("scan counts differ: coroutine %d, chained %d, fused %d", len(coro), len(chained), len(fused))
+			}
+			for i := range fused {
+				if !reflect.DeepEqual(fused[i], chained[i]) {
+					t.Fatalf("scan %d: fused %+v vs chained %+v", i, fused[i], chained[i])
+				}
+				if !reflect.DeepEqual(fused[i], coro[i]) {
+					t.Fatalf("scan %d: fused %+v vs coroutine %+v", i, fused[i], coro[i])
+				}
+			}
+			if st := arena.Stats(); st.Reclaimed == 0 || st.SegmentsReused == 0 {
+				t.Errorf("fused run exercised no recycling: %+v", st)
+			}
+		})
+	}
+}
+
+// TestFusedCallResetReuse: a fused runner stopped mid-call and Reset must
+// replay identically to a fresh fused runner, with the arena bulk-reclaiming
+// in-flight state (the chained path's TestRecycledMachineResetMidScan).
+func TestFusedCallResetReuse(t *testing.T) {
+	t.Parallel()
+	const n, steps = 3, 30_000
+	src, err := sched.Random(n, 23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.Take(src, steps)
+	fresh, _ := runRecordedFused(t, n, s)
+
+	var (
+		log   []recordedView
+		arena *Arena
+	)
+	r, err := sim.NewRunner(sim.Config{N: n, Machine: func(p procset.ID, regs sim.Registry) sim.Machine {
+		if arena == nil {
+			arena = ArenaFor(regs)
+		}
+		return &recFusedMachine{o: NewMachineObject(regs, "obj", p, n), self: p, log: &log}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.RunSchedule(s[:137])
+	for round := 0; round < 2; round++ {
+		if err := r.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		log = log[:0]
+		r.RunSchedule(s)
+		if len(log) != len(fresh) {
+			t.Fatalf("round %d: scan counts differ: fresh %d vs reused %d", round, len(fresh), len(log))
+		}
+		for i := range fresh {
+			if !reflect.DeepEqual(fresh[i], log[i]) {
+				t.Fatalf("round %d: scan %d differs after Reset reuse", round, i)
+			}
+		}
+	}
+	if st := arena.Stats(); st.Resets != 2 {
+		t.Errorf("arena saw %d bulk resets, want 2", st.Resets)
+	}
+}

@@ -56,8 +56,9 @@ type MachineObject struct {
 	arena  *Arena
 	bucket *leaseBucket
 
-	scanM ScanMachine
-	updM  UpdateMachine
+	scanM  ScanMachine
+	updM   UpdateMachine
+	fusedM FusedCall
 }
 
 // NewMachineObject creates the handle for the snapshot object with the given
