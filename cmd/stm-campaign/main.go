@@ -11,7 +11,14 @@
 //
 // Global-ish flags on every subcommand: -workers (0 = GOMAXPROCS), -seed,
 // -json (machine-readable summary on stdout), -jsonl FILE (stream one JSON
-// record per job).
+// record per job). Resilience flags (-checkpoint, -resume, -procs, -chaos,
+// -lease, -retries) route the run through the fault-tolerant coordinator:
+// checkpointed, lease-based dispatch that survives worker crashes and hangs
+// and resumes after coordinator death with a bit-identical aggregate.
+//
+// Exit codes: 0 clean; 1 error or property violation; 2 usage; 3 completed
+// degraded (quarantined jobs — reported, never silent); 4 interrupted with a
+// usable checkpoint (the exact -resume invocation is printed on stderr).
 package main
 
 import (
@@ -27,56 +34,148 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/core"
 	"github.com/settimeliness/settimeliness/internal/experiments"
 	"github.com/settimeliness/settimeliness/internal/explore"
+	"github.com/settimeliness/settimeliness/internal/faultinject"
 	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/trace"
 )
 
+// Exit codes (documented in usage; asserted by the CI chaos job).
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitDegraded    = 3
+	exitInterrupted = 4
+)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if os.Getenv(campaign.EnvWorker) == "1" {
+		// This process is a child of a coordinating stm-campaign: same
+		// subcommand, same arguments, but campaign.Run serves the job list
+		// over stdin/stdout instead of executing the campaign.
+		runWorker()
+		return
 	}
 	// SIGINT/SIGTERM cancel the context instead of killing the process: the
 	// campaign engine skips not-yet-started jobs, completed outcomes are
 	// still folded, and the partial summary is printed before exiting
-	// nonzero. A second signal kills the process (NotifyContext restores
-	// default handling once the context is done).
+	// nonzero. With -checkpoint, the coordinator additionally writes a final
+	// checkpoint and the exact resume invocation is printed. A second signal
+	// kills the process (NotifyContext restores default handling once the
+	// context is done).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	var err error
-	switch os.Args[1] {
-	case "matrix":
-		err = cmdMatrix(ctx, os.Args[2:], os.Stdout)
-	case "fuzz":
-		err = cmdFuzz(ctx, os.Args[2:], os.Stdout)
-	case "exhaustive":
-		err = cmdExhaustive(ctx, os.Args[2:], os.Stdout)
-	case "converge":
-		err = cmdConverge(ctx, os.Args[2:], os.Stdout)
-	case "relations":
-		err = cmdRelations(ctx, os.Args[2:], os.Stdout)
-	case "adversarial":
-		err = cmdAdversarial(ctx, os.Args[2:], os.Stdout)
-	case "monitor":
-		err = cmdMonitor(ctx, os.Args[2:], os.Stdout)
-	default:
+	err, known := dispatch(ctx, os.Args[1], os.Args[2:], os.Stdout)
+	if !known {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if ctx.Err() != nil && err == nil {
 		err = fmt.Errorf("interrupted; partial results above")
 	}
-	if err != nil {
+	var ie *campaign.InterruptedError
+	var de *degradedError
+	switch {
+	case err == nil:
+	case errors.As(err, &ie):
 		fmt.Fprintf(os.Stderr, "stm-campaign: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "stm-campaign: resume with: %s\n", resumeCommand())
+		os.Exit(exitInterrupted)
+	case errors.As(err, &de):
+		fmt.Fprintf(os.Stderr, "stm-campaign: %v\n", err)
+		os.Exit(exitDegraded)
+	default:
+		fmt.Fprintf(os.Stderr, "stm-campaign: %v\n", err)
+		os.Exit(exitError)
 	}
+}
+
+// dispatch routes a subcommand; known reports whether the name was one.
+func dispatch(ctx context.Context, sub string, args []string, w io.Writer) (err error, known bool) {
+	switch sub {
+	case "matrix":
+		return cmdMatrix(ctx, args, w), true
+	case "fuzz":
+		return cmdFuzz(ctx, args, w), true
+	case "exhaustive":
+		return cmdExhaustive(ctx, args, w), true
+	case "converge":
+		return cmdConverge(ctx, args, w), true
+	case "relations":
+		return cmdRelations(ctx, args, w), true
+	case "adversarial":
+		return cmdAdversarial(ctx, args, w), true
+	case "monitor":
+		return cmdMonitor(ctx, args, w), true
+	}
+	return nil, false
+}
+
+// runWorker is the worker-process entry: rebuild the same campaign the
+// coordinator holds by running the identical subcommand code path, with
+// campaign.Run rerouted into serve mode. Human output is discarded;
+// parent-only side effects (sink files, checkpoints, debug servers) are
+// disabled by the ServingWorker gates in the shared helpers.
+func runWorker() {
+	ctx := campaign.WithWorkerServe(context.Background(), os.Stdin, os.Stdout)
+	err, known := dispatch(ctx, os.Args[1], os.Args[2:], io.Discard)
+	if !known {
+		fmt.Fprintf(os.Stderr, "stm-campaign worker: unknown subcommand %q\n", os.Args[1])
+		os.Exit(exitError)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stm-campaign worker: %v\n", err)
+		os.Exit(exitError)
+	}
+	os.Exit(exitOK)
+}
+
+// resumeCommand reconstructs this invocation with -resume appended, for the
+// interrupted-with-checkpoint hint.
+func resumeCommand() string {
+	for _, a := range os.Args[1:] {
+		if a == "-resume" || a == "--resume" || a == "-resume=true" || a == "--resume=true" {
+			return strings.Join(os.Args, " ")
+		}
+	}
+	return strings.Join(os.Args, " ") + " -resume"
+}
+
+// degradedError marks a campaign that completed but quarantined poison jobs:
+// every healthy job is accounted for, the gaps are listed, and the exit code
+// says degraded.
+type degradedError struct {
+	records []campaign.QuarantineRecord
+}
+
+func (e *degradedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign completed degraded: %d job(s) quarantined after exhausting retries:", len(e.records))
+	for _, q := range e.records {
+		fmt.Fprintf(&b, "\n  job %d (%s): %d attempts, last error: %s", q.Job, q.Name, q.Attempts, q.LastErr)
+	}
+	return b.String()
+}
+
+// checkDegraded converts a quarantined-but-completed report into the
+// degraded exit path. Call only after the happy-path summary was emitted.
+func checkDegraded(rep *campaign.Report) error {
+	if rep != nil && len(rep.Quarantined) > 0 {
+		return &degradedError{records: rep.Quarantined}
+	}
+	return nil
 }
 
 func usage() {
@@ -91,7 +190,24 @@ func usage() {
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
 Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE,
 -progress N (heartbeat to stderr every N jobs), -pprof ADDR (pprof+expvar).
-SIGINT/SIGTERM print the partial summary and exit nonzero.`)
+Resilience flags (campaign subcommands; routes through the fault-tolerant
+coordinator — the aggregate stays bit-identical to a plain run):
+  -checkpoint FILE   journal completed jobs; interrupted runs leave a usable checkpoint
+  -resume            skip jobs already in the -checkpoint journal
+  -procs P           dispatch to P child worker processes (crash-isolated) instead of goroutines
+  -lease D           per-attempt deadline before a hung job is requeued (default 1m)
+  -retries R         re-leases before a poison job is quarantined (default 3)
+  -chaos PLAN        deterministic fault injection; PLAN is ';'-separated directives:
+                       kill@N            worker exits when handed its (N+1)-th job
+                       stall@J~D         job J hangs D past its lease on the first attempt
+                       delay@J~D         job J's result is delayed by D on the first attempt
+                       (J is a job index or pP for probability P per job, e.g. p0.05)
+                       crash@N | trunc@N | corrupt@N   coordinator dies after N journal
+                       appends, leaving a clean, truncated, or corrupted tail
+SIGINT/SIGTERM print the partial summary; with -checkpoint the exact resume
+invocation is printed on stderr.
+Exit codes: 0 clean; 1 error or property violation; 2 usage; 3 completed
+degraded (quarantined jobs); 4 interrupted with a usable checkpoint.`)
 }
 
 // common holds the flags every campaign shares.
@@ -102,6 +218,14 @@ type common struct {
 	jsonlOut  string
 	progress  int
 	pprofAddr string
+
+	// Resilience flags (fault-tolerant coordinator).
+	checkpoint string
+	resume     bool
+	procs      int
+	chaos      string
+	lease      time.Duration
+	retries    int
 }
 
 func (c *common) register(fs *flag.FlagSet) {
@@ -111,6 +235,60 @@ func (c *common) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.jsonlOut, "jsonl", "", "stream one JSON record per job to this file")
 	fs.IntVar(&c.progress, "progress", 0, "emit a JSONL heartbeat to stderr every N completed jobs (0 = off)")
 	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.checkpoint, "checkpoint", "", "journal completed jobs to this file; interrupted runs resume from it")
+	fs.BoolVar(&c.resume, "resume", false, "resume from the -checkpoint journal, skipping completed jobs (aggregate stays bit-identical)")
+	fs.IntVar(&c.procs, "procs", 0, "dispatch jobs to this many child worker processes instead of in-process goroutines")
+	fs.StringVar(&c.chaos, "chaos", "", `deterministic fault plan, e.g. "kill@3;stall@p0.05~300ms;trunc@7" (see usage)`)
+	fs.DurationVar(&c.lease, "lease", 0, "per-attempt deadline before a job is requeued as hung (0 = 1m)")
+	fs.IntVar(&c.retries, "retries", 0, "re-leases per job before quarantine (0 = 3, negative = none)")
+}
+
+// resilienceRequested reports whether any coordinator flag was set.
+func (c *common) resilienceRequested() bool {
+	return c.checkpoint != "" || c.resume || c.procs != 0 || c.chaos != "" || c.lease != 0 || c.retries != 0
+}
+
+// resilience installs the fault-tolerant coordinator knob when any of its
+// flags are set. name and args are the subcommand and its raw argument list:
+// name + canonical params identify the campaign in the checkpoint header, and
+// the same argv respawned under EnvWorker is how child processes rebuild the
+// identical job list. In a worker process this is a no-op — the serve knob is
+// already installed and resilience belongs to the coordinating parent.
+func (c *common) resilience(ctx context.Context, name string, args []string, params map[string]any) (context.Context, error) {
+	if campaign.ServingWorker(ctx) || !c.resilienceRequested() {
+		return ctx, nil
+	}
+	if c.resume && c.checkpoint == "" {
+		return nil, fmt.Errorf("-resume needs -checkpoint")
+	}
+	plan, err := faultinject.Parse(c.chaos)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := json.Marshal(params) // map keys encode sorted: canonical
+	if err != nil {
+		return nil, fmt.Errorf("canonicalizing %s params: %v", name, err)
+	}
+	res := &campaign.Resilience{
+		Checkpoint: c.checkpoint,
+		Resume:     c.resume,
+		Spec:       campaign.Spec{Kind: name, Params: string(canon), Seed: c.seed},
+		Procs:      c.procs,
+		Lease:      c.lease,
+		Retries:    c.retries,
+		Chaos:      faultinject.New(plan, c.seed),
+		Log: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "stm-campaign: "+format+"\n", a...)
+		},
+	}
+	if c.procs > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("-procs: resolving worker binary: %v", err)
+		}
+		res.WorkerArgv = append([]string{exe, name}, args...)
+	}
+	return campaign.WithResilience(ctx, res), nil
 }
 
 // instrument applies the observability flags: -progress installs a campaign
@@ -119,6 +297,11 @@ func (c *common) register(fs *flag.FlagSet) {
 // "campaign" expvar. The returned context carries the heartbeat knob; the
 // cleanup function stops the debug server.
 func (c *common) instrument(ctx context.Context) (context.Context, func(), error) {
+	if campaign.ServingWorker(ctx) {
+		// Worker processes inherit the parent's flags but must not start a
+		// second debug server or double-report heartbeats.
+		return ctx, func() {}, nil
+	}
 	var last atomic.Pointer[campaign.Heartbeat]
 	every := c.progress
 	if every <= 0 && c.pprofAddr != "" {
@@ -154,9 +337,10 @@ func (c *common) instrument(ctx context.Context) (context.Context, func(), error
 }
 
 // sink opens the -jsonl stream; the returned close function also surfaces
-// encoding errors observed during the run.
-func (c *common) sink() (func(campaign.Outcome), func() error, error) {
-	if c.jsonlOut == "" {
+// encoding errors observed during the run. Worker processes skip it — they
+// inherit the parent's -jsonl flag but must not clobber the parent's file.
+func (c *common) sink(ctx context.Context) (func(campaign.Outcome), func() error, error) {
+	if c.jsonlOut == "" || campaign.ServingWorker(ctx) {
 		return nil, func() error { return nil }, nil
 	}
 	f, err := os.Create(c.jsonlOut)
@@ -266,12 +450,21 @@ func cmdMatrix(ctx context.Context, args []string, w io.Writer) error {
 	if len(problems) == 0 {
 		return fmt.Errorf("no valid (t,k,n) problems in t=%s k=%s n=%s", *tRange, *kRange, *nRange)
 	}
+	params := map[string]any{
+		"t": *tRange, "k": *kRange, "n": *nRange,
+		"posbudget": *posBudget, "negbudget": *negBudget,
+		"problems": len(problems),
+	}
+	ctx, err = c.resilience(ctx, "matrix", args, params)
+	if err != nil {
+		return err
+	}
 	ctx, cleanup, err := c.instrument(ctx)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	sink, closeSink, err := c.sink()
+	sink, closeSink, err := c.sink(ctx)
 	if err != nil {
 		return err
 	}
@@ -308,17 +501,13 @@ func cmdMatrix(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintln(w, tb.Render())
 		}
 	}
-	if err := emit(w, c, "matrix", map[string]any{
-		"t": *tRange, "k": *kRange, "n": *nRange,
-		"posbudget": *posBudget, "negbudget": *negBudget,
-		"problems": len(problems),
-	}, rep); err != nil {
+	if err := emit(w, c, "matrix", params, rep); err != nil {
 		return err
 	}
 	if rep.Summary.Failed > 0 {
 		return fmt.Errorf("%d cells did not match the characterization", rep.Summary.Failed)
 	}
-	return nil
+	return checkDegraded(rep)
 }
 
 func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
@@ -335,6 +524,10 @@ func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	patterns, err := parseCrashPatterns(*crashSpec)
+	if err != nil {
+		return err
+	}
+	ctx, err = c.resilience(ctx, "fuzz", args, fuzzParams(*target, *n, *steps, *schedules))
 	if err != nil {
 		return err
 	}
@@ -366,7 +559,7 @@ func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -engine %q (want pooled or fresh)", *engine)
 	}
-	sink, closeSink, err := c.sink()
+	sink, closeSink, err := c.sink(ctx)
 	if err != nil {
 		return err
 	}
@@ -391,7 +584,10 @@ func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 		}
 		return err
 	}
-	return emit(w, c, "fuzz", fuzzParams(*target, *n, *steps, *schedules), rep)
+	if err := emit(w, c, "fuzz", fuzzParams(*target, *n, *steps, *schedules), rep); err != nil {
+		return err
+	}
+	return checkDegraded(rep)
 }
 
 // cmdExhaustive sweeps every schedule of exactly -depth steps over -n
@@ -421,8 +617,15 @@ func cmdExhaustive(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	params := map[string]any{"target": *target, "n": *n, "depth": *depth, "reduce": *reduce}
+	if *reduce && c.resilienceRequested() {
+		return fmt.Errorf("the reduced exhaustive sweep is a single sequential explorer; checkpoint/chaos flags need the campaign engine (-reduce=false)")
+	}
 	if !*reduce {
-		sink, closeSink, err := c.sink()
+		ctx, err = c.resilience(ctx, "exhaustive", args, params)
+		if err != nil {
+			return err
+		}
+		sink, closeSink, err := c.sink(ctx)
 		if err != nil {
 			return err
 		}
@@ -445,7 +648,10 @@ func cmdExhaustive(ctx context.Context, args []string, w io.Writer) error {
 			}
 			return err
 		}
-		return emit(w, c, "exhaustive", params, rep)
+		if err := emit(w, c, "exhaustive", params, rep); err != nil {
+			return err
+		}
+		return checkDegraded(rep)
 	}
 	stats, err := explore.ExhaustiveReduced(*n, *depth, build)
 	summary := struct {
@@ -530,6 +736,11 @@ func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	params := map[string]any{"n": *n, "steps": *steps, "runs": *runs}
+	ctx, err := c.resilience(ctx, "adversarial", args, params)
+	if err != nil {
+		return err
+	}
 	ctx, cleanup, err := c.instrument(ctx)
 	if err != nil {
 		return err
@@ -538,7 +749,7 @@ func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 	if *flightK > 0 {
 		ctx = obs.WithFlight(ctx, *flightK)
 	}
-	sink, closeSink, err := c.sink()
+	sink, closeSink, err := c.sink(ctx)
 	if err != nil {
 		return err
 	}
@@ -546,7 +757,6 @@ func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 	if cerr := closeSink(); err == nil && cerr != nil {
 		err = cerr
 	}
-	params := map[string]any{"n": *n, "steps": *steps, "runs": *runs}
 	if err != nil {
 		if rep != nil {
 			dst := w
@@ -561,7 +771,10 @@ func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 		}
 		return err
 	}
-	return emit(w, c, "adversarial", params, rep)
+	if err := emit(w, c, "adversarial", params, rep); err != nil {
+		return err
+	}
+	return checkDegraded(rep)
 }
 
 func cmdConverge(ctx context.Context, args []string, w io.Writer) error {
@@ -577,12 +790,17 @@ func cmdConverge(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	params := map[string]any{"n": *n, "k": *k, "t": *t, "bound": *bound, "trials": *trials}
+	ctx, err := c.resilience(ctx, "converge", args, params)
+	if err != nil {
+		return err
+	}
 	ctx, cleanup, err := c.instrument(ctx)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	sink, closeSink, err := c.sink()
+	sink, closeSink, err := c.sink(ctx)
 	if err != nil {
 		return err
 	}
@@ -595,15 +813,13 @@ func cmdConverge(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := emit(w, c, "converge", map[string]any{
-		"n": *n, "k": *k, "t": *t, "bound": *bound, "trials": *trials,
-	}, rep); err != nil {
+	if err := emit(w, c, "converge", params, rep); err != nil {
 		return err
 	}
 	if rep.Summary.Failed > 0 {
 		return fmt.Errorf("%d trials failed to converge or violated the property", rep.Summary.Failed)
 	}
-	return nil
+	return checkDegraded(rep)
 }
 
 func cmdRelations(ctx context.Context, args []string, w io.Writer) error {
@@ -618,12 +834,17 @@ func cmdRelations(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	params := map[string]any{"n": *n, "bound": *bound, "steps": *steps, "schedules": *schedules, "gen": *gen}
+	ctx, err := c.resilience(ctx, "relations", args, params)
+	if err != nil {
+		return err
+	}
 	ctx, cleanup, err := c.instrument(ctx)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
-	sink, closeSink, err := c.sink()
+	sink, closeSink, err := c.sink(ctx)
 	if err != nil {
 		return err
 	}
@@ -652,9 +873,10 @@ func cmdRelations(ctx context.Context, args []string, w io.Writer) error {
 		}
 		fmt.Fprintln(w, tb.Render())
 	}
-	return emit(w, c, "relations", map[string]any{
-		"n": *n, "bound": *bound, "steps": *steps, "schedules": *schedules, "gen": *gen,
-	}, rep)
+	if err := emit(w, c, "relations", params, rep); err != nil {
+		return err
+	}
+	return checkDegraded(rep)
 }
 
 // segmentSwitcher alternates between two sources in fixed-length segments,

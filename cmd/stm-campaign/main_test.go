@@ -5,11 +5,25 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/campaign"
 )
+
+// TestMain lets the test binary double as a stm-campaign worker process: the
+// coordinator spawns os.Executable() with EnvWorker set and argv
+// [exe, subcommand, flags...], exactly like the installed binary.
+func TestMain(m *testing.M) {
+	if os.Getenv(campaign.EnvWorker) == "1" {
+		runWorker()
+		return // unreachable: runWorker exits
+	}
+	os.Exit(m.Run())
+}
 
 func TestParseRange(t *testing.T) {
 	t.Parallel()
@@ -251,6 +265,153 @@ func TestMonitorRejectsBadFlags(t *testing.T) {
 	}
 	if err := cmdMonitor(context.Background(), []string{"-gen", "bogus"}, &out); err == nil {
 		t.Error("bogus generator accepted")
+	}
+}
+
+// fuzzSummary runs cmdFuzz with the given extra flags prepended to a fixed
+// base invocation and returns the marshaled -json Summary (deterministic:
+// no wall-clock fields).
+func fuzzSummary(t *testing.T, extra ...string) string {
+	t.Helper()
+	base := []string{"-target", "consensus", "-n", "3", "-steps", "60",
+		"-schedules", "30", "-seed", "7", "-workers", "4", "-json"}
+	var out bytes.Buffer
+	err := cmdFuzz(context.Background(), append(extra, base...), &out)
+	if err != nil {
+		t.Fatalf("cmdFuzz(%v): %v\n%s", extra, err, out.String())
+	}
+	var rec record
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	s, err := json.Marshal(rec.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(s)
+}
+
+// TestFuzzCheckpointCrashResume is the tentpole end to end at the CLI layer:
+// a chaos-crashed coordinator leaves a usable checkpoint (surfaced as
+// InterruptedError), and the -resume rerun produces the same summary and the
+// same -jsonl stream, byte for byte, as an uninterrupted run.
+func TestFuzzCheckpointCrashResume(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	plainJSONL := filepath.Join(dir, "plain.jsonl")
+	want := fuzzSummary(t, "-jsonl", plainJSONL)
+
+	ck := filepath.Join(dir, "ck.jsonl")
+	base := []string{"-target", "consensus", "-n", "3", "-steps", "60",
+		"-schedules", "30", "-seed", "7", "-workers", "4", "-json"}
+	var out bytes.Buffer
+	err := cmdFuzz(context.Background(), append([]string{"-checkpoint", ck, "-chaos", "trunc@9"}, base...), &out)
+	var ie *campaign.InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("chaos run returned %v, want InterruptedError", err)
+	}
+	if !ie.Injected || ie.Checkpoint != ck {
+		t.Fatalf("InterruptedError = %+v", ie)
+	}
+
+	resumedJSONL := filepath.Join(dir, "resumed.jsonl")
+	got := fuzzSummary(t, "-checkpoint", ck, "-resume", "-jsonl", resumedJSONL)
+	if got != want {
+		t.Errorf("resumed summary diverges:\n%s\nvs\n%s", got, want)
+	}
+	a, err := os.ReadFile(plainJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumedJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed -jsonl stream is not byte-identical to the plain run (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestFuzzSelfHealingBitIdentical: worker kills and stalled jobs are healed
+// by the coordinator (requeue + respawn) without changing the aggregate.
+func TestFuzzSelfHealingBitIdentical(t *testing.T) {
+	t.Parallel()
+	want := fuzzSummary(t)
+	got := fuzzSummary(t, "-chaos", "kill@5;stall@3~400ms", "-lease", "120ms", "-retries", "4")
+	if got != want {
+		t.Errorf("chaos-healed summary diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestFuzzProcWorkersBitIdentical dispatches to child worker processes (the
+// test binary re-exec'd via TestMain) and must match the in-process run.
+func TestFuzzProcWorkersBitIdentical(t *testing.T) {
+	t.Parallel()
+	want := fuzzSummary(t)
+	got := fuzzSummary(t, "-procs", "2")
+	if got != want {
+		t.Errorf("-procs 2 summary diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestFuzzProcWorkersSurviveKills: a fault plan that repeatedly kills child
+// processes mid-campaign still converges to the same summary.
+func TestFuzzProcWorkersSurviveKills(t *testing.T) {
+	t.Parallel()
+	want := fuzzSummary(t)
+	got := fuzzSummary(t, "-procs", "2", "-chaos", "kill@4", "-lease", "10s")
+	if got != want {
+		t.Errorf("killed-proc summary diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestResilienceFlagValidation(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	err := cmdFuzz(context.Background(), []string{"-resume", "-schedules", "4"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Errorf("-resume without -checkpoint: %v", err)
+	}
+	err = cmdFuzz(context.Background(), []string{"-chaos", "explode@3", "-schedules", "4"}, &out)
+	if err == nil {
+		t.Error("bad -chaos plan accepted")
+	}
+	err = cmdExhaustive(context.Background(), []string{"-checkpoint", filepath.Join(t.TempDir(), "ck"), "-depth", "3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-reduce=false") {
+		t.Errorf("reduced exhaustive with -checkpoint: %v", err)
+	}
+}
+
+func TestResumeCommand(t *testing.T) {
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = []string{"stm-campaign", "fuzz", "-checkpoint", "ck.jsonl"}
+	if got, want := resumeCommand(), "stm-campaign fuzz -checkpoint ck.jsonl -resume"; got != want {
+		t.Errorf("resumeCommand() = %q, want %q", got, want)
+	}
+	os.Args = []string{"stm-campaign", "fuzz", "-checkpoint", "ck.jsonl", "-resume"}
+	if got := resumeCommand(); strings.Count(got, "-resume") != 1 {
+		t.Errorf("resumeCommand() duplicated -resume: %q", got)
+	}
+}
+
+func TestCheckDegraded(t *testing.T) {
+	t.Parallel()
+	if err := checkDegraded(&campaign.Report{}); err != nil {
+		t.Errorf("clean report flagged degraded: %v", err)
+	}
+	rep := &campaign.Report{Quarantined: []campaign.QuarantineRecord{
+		{Job: 3, Name: "poison", Attempts: 4, LastErr: "lease expired after 30ms (attempt 3)"},
+	}}
+	err := checkDegraded(rep)
+	var de *degradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("checkDegraded = %v, want degradedError", err)
+	}
+	for _, frag := range []string{"quarantined", "job 3", "poison", "lease expired"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("degraded message lacks %q: %s", frag, err)
+		}
 	}
 }
 

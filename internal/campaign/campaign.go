@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -90,6 +91,10 @@ type Report struct {
 	Workers  int           `json:"workers"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
 	Failures []Outcome     `json:"failures,omitempty"`
+	// Quarantined lists the poison jobs the coordinator isolated after
+	// exhausting their retry budget (coordinated runs only). A non-empty
+	// list means the campaign completed degraded, never silently short.
+	Quarantined []QuarantineRecord `json:"quarantined,omitempty"`
 	// Telemetry is the final progress snapshot (see Heartbeat): the same
 	// counters the periodic heartbeats report, taken after the last job
 	// folded. Its Seq is the number of periodic heartbeats that fired.
@@ -107,10 +112,11 @@ func SeedFor(master int64, i int) int64 {
 }
 
 type indexed struct {
-	idx     int
-	out     Outcome
-	err     error
-	skipped bool
+	idx         int
+	out         Outcome
+	err         error
+	skipped     bool
+	quarantined bool
 }
 
 // Run executes the jobs on a worker pool and returns the folded report. On a
@@ -118,7 +124,20 @@ type indexed struct {
 // index is returned alongside the partial report. Context cancellation
 // (including StopOnFail) skips not-yet-started jobs; completed outcomes are
 // still folded.
+//
+// Two context knobs reroute execution without changing results: a
+// worker-serve knob (WithWorkerServe) makes Run serve its job list to a
+// parent coordinator over the worker protocol, and a resilience knob
+// (WithResilience) runs the jobs under the fault-tolerant coordinator —
+// checkpointed, lease-based, self-healing dispatch. All three paths fold
+// outcomes in job-index order, so their aggregates are bit-identical.
 func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
+	if srv := serveFrom(ctx); srv != nil {
+		return serveWorker(ctx, srv, jobs)
+	}
+	if res := resilienceFrom(ctx); res != nil {
+		return runCoordinated(ctx, cfg, res, jobs)
+	}
 	start := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -129,10 +148,6 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	}
 	if workers < 1 {
 		workers = 1
-	}
-	keep := cfg.KeepFailures
-	if keep == 0 {
-		keep = 16
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -178,15 +193,10 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	// Heartbeats fire from this same goroutine at deterministic fold
 	// positions (every hb.every folded jobs), so their counting fields
 	// inherit the fold order's worker-count independence.
-	agg := newAggregate()
-	hb := heartbeatFrom(ctx)
-	hbSeq := 0
-	pending := make(map[int]indexed)
+	f := newFolder(ctx, cfg, len(jobs), start)
 	var (
-		failures []Outcome
 		firstErr error
 		errIdx   = -1
-		emit     = 0
 	)
 	for r := range results {
 		if r.err != nil {
@@ -199,49 +209,41 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 		if !r.skipped && cfg.StopOnFail && !r.out.Ok {
 			cancel()
 		}
-		pending[r.idx] = r
-		for {
-			nr, ok := pending[emit]
-			if !ok {
-				break
-			}
-			delete(pending, emit)
-			emit++
-			if nr.skipped {
-				agg.skip()
-			} else {
-				agg.add(nr.out)
-				if !nr.out.Ok && len(failures) < keep {
-					failures = append(failures, nr.out)
-				}
-				if cfg.OnResult != nil {
-					cfg.OnResult(nr.out)
-				}
-			}
-			if hb.fn != nil && emit%hb.every == 0 {
-				hbSeq++
-				hb.fn(agg.snapshot(hbSeq, len(jobs), start))
-			}
+		if f.push(r) && cfg.StopOnFail {
+			cancel()
 		}
 	}
 
-	rep := &Report{
-		Summary:   agg.summary(len(jobs)),
-		Workers:   workers,
-		Elapsed:   time.Since(start),
-		Failures:  failures,
-		Telemetry: agg.snapshot(hbSeq, len(jobs), start),
-	}
+	rep := f.report(workers, nil)
 	if firstErr != nil {
 		return rep, fmt.Errorf("campaign: job %d (%s): %w", errIdx, jobs[errIdx].Name, firstErr)
 	}
 	return rep, nil
 }
 
+// PanicDetail is the Outcome.Detail payload of a job that panicked: the
+// panic value plus the goroutine stack, so a failed-job verdict in a JSONL
+// stream carries its own crash context.
+type PanicDetail struct {
+	Message string `json:"message"`
+	Stack   string `json:"stack,omitempty"`
+}
+
+// runJob executes one job with panic isolation: a panicking job records a
+// failed outcome with verdict "panic" (message and stack in Detail) instead
+// of killing the whole campaign. Infrastructure errors returned by the job
+// still abort the run.
 func runJob(ctx context.Context, j Job, idx int, seed int64) (out Outcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = fmt.Errorf("panic: %v", rec)
+			out = Outcome{
+				Job:     idx,
+				Name:    j.Name,
+				Verdict: "panic",
+				Ok:      false,
+				Detail:  PanicDetail{Message: fmt.Sprint(rec), Stack: string(debug.Stack())},
+			}
+			err = nil
 		}
 	}()
 	out, err = j.Run(ctx, seed)
@@ -252,16 +254,103 @@ func runJob(ctx context.Context, j Job, idx int, seed int64) (out Outcome, err e
 	return out, err
 }
 
+// folder folds results in job-index order, buffering out-of-order arrivals,
+// firing heartbeats at deterministic fold positions, and retaining bounded
+// failures. Both execution paths — the plain pool and the coordinator —
+// fold through it, which is what keeps their aggregates bit-identical.
+type folder struct {
+	agg      *aggregate
+	hb       heartbeatCfg
+	hbSeq    int
+	pending  map[int]indexed
+	emit     int
+	keep     int
+	onResult func(Outcome)
+	jobs     int
+	start    time.Time
+	failures []Outcome
+}
+
+func newFolder(ctx context.Context, cfg Config, jobs int, start time.Time) *folder {
+	keep := cfg.KeepFailures
+	if keep == 0 {
+		keep = 16
+	}
+	return &folder{
+		agg:      newAggregate(),
+		hb:       heartbeatFrom(ctx),
+		pending:  make(map[int]indexed),
+		keep:     keep,
+		onResult: cfg.OnResult,
+		jobs:     jobs,
+		start:    start,
+	}
+}
+
+// push buffers one result and folds every newly contiguous index. It
+// reports whether any newly folded outcome failed (for StopOnFail).
+func (f *folder) push(r indexed) (sawFail bool) {
+	f.pending[r.idx] = r
+	for {
+		nr, ok := f.pending[f.emit]
+		if !ok {
+			return sawFail
+		}
+		delete(f.pending, f.emit)
+		f.emit++
+		switch {
+		case nr.quarantined:
+			f.agg.quarantine()
+		case nr.skipped:
+			f.agg.skip()
+		default:
+			f.agg.add(nr.out)
+			if !nr.out.Ok {
+				sawFail = true
+				if len(f.failures) < f.keep {
+					f.failures = append(f.failures, nr.out)
+				}
+			}
+			if f.onResult != nil {
+				f.onResult(nr.out)
+			}
+		}
+		if f.hb.fn != nil && f.emit%f.hb.every == 0 {
+			f.hbSeq++
+			f.hb.fn(f.agg.snapshot(f.hbSeq, f.jobs, f.start))
+		}
+	}
+}
+
+// folded reports how many indices have been folded so far.
+func (f *folder) folded() int { return f.emit }
+
+// report assembles the final Report from the folded state.
+func (f *folder) report(workers int, quarantined []QuarantineRecord) *Report {
+	return &Report{
+		Summary:     f.agg.summary(f.jobs),
+		Workers:     workers,
+		Elapsed:     time.Since(f.start),
+		Failures:    f.failures,
+		Quarantined: quarantined,
+		Telemetry:   f.agg.snapshot(f.hbSeq, f.jobs, f.start),
+	}
+}
+
 // aggregate folds outcomes incrementally; it retains one int per completed
 // job (the Steps sample) and bounded maps, never whole outcomes.
 type aggregate struct {
-	completed int
-	skipped   int
-	ok        int
-	verdicts  map[string]int
-	tallies   map[string]int
-	steps     []int
-	stepsSum  int64 // incremental, so heartbeats never rescan the sample
+	completed   int
+	skipped     int
+	quarantined int
+	ok          int
+	verdicts    map[string]int
+	tallies     map[string]int
+	steps       []int
+	stepsSum    int64 // incremental, so heartbeats never rescan the sample
+	// dispatch, when set (coordinated runs), is surfaced on heartbeats; its
+	// counters are timing-dependent telemetry, not deterministic aggregate.
+	dispatch *DispatchStats
 }
 
 func newAggregate() *aggregate {
@@ -269,6 +358,8 @@ func newAggregate() *aggregate {
 }
 
 func (a *aggregate) skip() { a.skipped++ }
+
+func (a *aggregate) quarantine() { a.quarantined++ }
 
 func (a *aggregate) add(o Outcome) {
 	a.completed++
@@ -287,14 +378,15 @@ func (a *aggregate) add(o Outcome) {
 
 func (a *aggregate) summary(jobs int) Summary {
 	s := Summary{
-		Jobs:      jobs,
-		Completed: a.completed,
-		Skipped:   a.skipped,
-		Ok:        a.ok,
-		Failed:    a.completed - a.ok,
-		Verdicts:  a.verdicts,
-		Tallies:   a.tallies,
-		Steps:     stepStats(a.steps),
+		Jobs:        jobs,
+		Completed:   a.completed,
+		Skipped:     a.skipped,
+		Quarantined: a.quarantined,
+		Ok:          a.ok,
+		Failed:      a.completed - a.ok,
+		Verdicts:    a.verdicts,
+		Tallies:     a.tallies,
+		Steps:       stepStats(a.steps),
 	}
 	return s
 }
@@ -302,14 +394,18 @@ func (a *aggregate) summary(jobs int) Summary {
 // Summary is the deterministic aggregate of a campaign: identical for the
 // same jobs and seed at any worker count (when no cancellation occurred).
 type Summary struct {
-	Jobs      int            `json:"jobs"`
-	Completed int            `json:"completed"`
-	Skipped   int            `json:"skipped,omitempty"`
-	Ok        int            `json:"ok"`
-	Failed    int            `json:"failed"`
-	Verdicts  map[string]int `json:"verdicts,omitempty"`
-	Tallies   map[string]int `json:"tallies,omitempty"`
-	Steps     StepStats      `json:"steps"`
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Skipped   int `json:"skipped,omitempty"`
+	// Quarantined counts poison jobs the coordinator isolated; they are
+	// neither completed nor ok, so a nonzero value marks a degraded (but
+	// explicitly accounted) campaign.
+	Quarantined int            `json:"quarantined,omitempty"`
+	Ok          int            `json:"ok"`
+	Failed      int            `json:"failed"`
+	Verdicts    map[string]int `json:"verdicts,omitempty"`
+	Tallies     map[string]int `json:"tallies,omitempty"`
+	Steps       StepStats      `json:"steps"`
 }
 
 // StepStats summarizes the distribution of Outcome.Steps across completed

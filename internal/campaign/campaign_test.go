@@ -144,14 +144,40 @@ func TestJobErrorAbortsCampaign(t *testing.T) {
 	}
 }
 
-func TestPanicBecomesError(t *testing.T) {
+func TestPanicBecomesFailedOutcome(t *testing.T) {
 	t.Parallel()
-	jobs := []Job{{Name: "p", Run: func(ctx context.Context, seed int64) (Outcome, error) {
+	// A panicking job is isolated: the campaign completes, the job folds as a
+	// failed outcome carrying the panic message and stack.
+	jobs := makeJobs(10)
+	jobs[4] = Job{Name: "p", Run: func(ctx context.Context, seed int64) (Outcome, error) {
 		panic("kaboom")
-	}}}
-	_, err := Run(context.Background(), Config{}, jobs)
-	if err == nil || !strings.Contains(err.Error(), "kaboom") {
-		t.Fatalf("err = %v", err)
+	}}
+	rep, err := Run(context.Background(), Config{Workers: 4, KeepFailures: 4}, jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Summary.Completed != 10 || rep.Summary.Ok != 9 {
+		t.Fatalf("summary = %+v, want 10 completed / 9 ok", rep.Summary)
+	}
+	if rep.Summary.Verdicts["panic"] != 1 {
+		t.Errorf("verdicts = %v, want one %q", rep.Summary.Verdicts, "panic")
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(rep.Failures))
+	}
+	f := rep.Failures[0]
+	if f.Verdict != "panic" || f.Ok {
+		t.Errorf("failure outcome = %+v", f)
+	}
+	pd, ok := f.Detail.(PanicDetail)
+	if !ok {
+		t.Fatalf("Detail = %T, want PanicDetail", f.Detail)
+	}
+	if !strings.Contains(pd.Message, "kaboom") {
+		t.Errorf("panic message %q lacks the panic value", pd.Message)
+	}
+	if !strings.Contains(pd.Stack, "campaign") {
+		t.Errorf("stack trace looks empty: %q", pd.Stack)
 	}
 }
 

@@ -1,0 +1,757 @@
+package campaign
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"github.com/settimeliness/settimeliness/internal/faultinject"
+)
+
+// The fault-tolerant coordinator: lease-based dispatch over workers that
+// may crash, hang, or be preempted. Each job is granted a lease with a
+// deadline; a lease that expires (hung worker), or whose worker dies, is
+// requeued with capped exponential backoff and deterministic jitter, and a
+// job that exhausts its retry budget is quarantined so the rest of the
+// campaign completes — degraded is reported, never silent. Completed
+// outcomes are journaled to the checkpoint file in arrival order and folded
+// in job-index order, so the aggregate (and any JSONL stream) stays
+// bit-identical to a plain uninterrupted run: retries re-execute
+// deterministic jobs to the same outcome, and resume replays the journal.
+//
+// Workers are either in-process goroutines (Config.Workers wide) or child
+// worker processes (Resilience.Procs wide) speaking the JSONL protocol in
+// worker.go. Fault injection enters through the Resilience.Chaos injector:
+// worker-side faults (kill/stall/delay) execute wherever the worker lives,
+// coordinator-side faults (crash/trunc/corrupt) fire on the journal-append
+// hook. All timing goes through the injectable clock.
+
+// maxConsecutiveDeaths aborts the campaign when workers keep dying without
+// a single result in between — a broken worker binary or a poisoned
+// environment, not something retries can heal.
+const maxConsecutiveDeaths = 8
+
+// injectedCrash is the coordinator-crash signal raised by the journal
+// append hook under fault injection.
+type injectedCrash struct{ fault faultinject.TailFault }
+
+func (e injectedCrash) Error() string {
+	return fmt.Sprintf("fault injection: coordinator crash (%s tail)", e.fault)
+}
+
+// coordEvent is a worker→coordinator message: a job result or a death
+// notice.
+type coordEvent struct {
+	worker  int
+	job     int
+	attempt int
+	out     Outcome
+	jobErr  error
+	down    bool
+	downErr error
+}
+
+// workerHandle abstracts the two worker substrates for dispatch and
+// (process) control.
+type workerHandle interface {
+	dispatch(req workReq) error
+	// kill terminates the worker forcefully (SIGKILL for processes); used on
+	// lease expiry and abort.
+	kill()
+	// shutdown asks the worker to exit after its current job (close of its
+	// input); used on clean completion.
+	shutdown()
+}
+
+type workerState struct {
+	handle   workerHandle
+	inproc   bool
+	job      int // -1 when idle
+	attempt  int
+	deadline time.Time
+	// expired marks a lease whose deadline passed: the job has been routed
+	// elsewhere (in-process) or the worker killed (process); the state stays
+	// until the late result or the death notice arrives.
+	expired bool
+}
+
+type readyItem struct {
+	job     int
+	attempt int
+	readyAt time.Time
+	seq     int
+}
+
+type readyQueue []readyItem
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if !q[i].readyAt.Equal(q[j].readyAt) {
+		return q[i].readyAt.Before(q[j].readyAt)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(readyItem)) }
+func (q *readyQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+type coordinator struct {
+	// parent is the caller's context; ctx is the internal cancellable child.
+	// Only parent cancellation means "interrupted" — internal cancels are
+	// StopOnFail/abort and must not be mistaken for a SIGINT.
+	parent context.Context
+	ctx    context.Context
+	cancel context.CancelFunc
+	cfg    Config
+	res    *Resilience
+	jobs   []Job
+	clock  faultinject.Clock
+
+	events chan coordEvent
+	stop   chan struct{}
+
+	workers map[int]*workerState
+	nextID  int
+	target  int
+
+	ready readyQueue
+	seq   int
+
+	done     map[int]bool
+	resolved int
+	lastErr  map[int]string
+
+	quarantined []QuarantineRecord
+	stats       DispatchStats
+	f           *folder
+	journal     *Journal
+
+	stopDispatch bool
+	interrupted  bool
+	firstErr     error
+	errIdx       int
+	deaths       int // consecutive worker deaths without progress
+}
+
+// runCoordinated is campaign.Run on the fault-tolerant coordinator path.
+func runCoordinated(parent context.Context, cfg Config, res *Resilience, jobs []Job) (*Report, error) {
+	start := time.Now()
+	target := cfg.Workers
+	if res.Procs > 0 {
+		if len(res.WorkerArgv) == 0 {
+			return nil, fmt.Errorf("campaign: Resilience.Procs = %d but no WorkerArgv to spawn", res.Procs)
+		}
+		target = res.Procs
+	} else {
+		if target <= 0 {
+			target = runtime.GOMAXPROCS(0)
+		}
+	}
+	if target > len(jobs) {
+		target = len(jobs)
+	}
+	if target < 1 {
+		target = 1
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	c := &coordinator{
+		parent:  parent,
+		ctx:     ctx,
+		cancel:  cancel,
+		cfg:     cfg,
+		res:     res,
+		jobs:    jobs,
+		clock:   res.clock(),
+		events:  make(chan coordEvent, 16),
+		stop:    make(chan struct{}),
+		workers: make(map[int]*workerState),
+		target:  target,
+		done:    make(map[int]bool),
+		lastErr: make(map[int]string),
+		errIdx:  -1,
+		f:       newFolder(ctx, cfg, len(jobs), start),
+	}
+	c.f.agg.dispatch = &c.stats
+	defer close(c.stop)
+
+	if res.Checkpoint != "" {
+		if err := c.openJournal(); err != nil {
+			return nil, err
+		}
+	}
+	if c.cfg.StopOnFail && len(c.f.failures) > 0 {
+		// A resumed journal already contains a failure; honor StopOnFail
+		// exactly as if it had just been folded.
+		c.stopDispatch = true
+	}
+
+	// Everything unresolved is ready immediately, in index order.
+	for i := range jobs {
+		if !c.done[i] {
+			heap.Push(&c.ready, readyItem{job: i, attempt: 0, seq: c.seq})
+			c.seq++
+		}
+	}
+
+	for len(c.workers) < c.target && len(c.workers) < len(jobs)-c.resolved {
+		if err := c.spawn(); err != nil {
+			c.abort(-1, err)
+			break
+		}
+	}
+
+	rep, err := c.loop()
+	c.shutdownWorkers(c.interrupted || c.firstErr != nil)
+	return rep, err
+}
+
+// openJournal creates or resumes the checkpoint journal and pre-folds any
+// recovered outcomes.
+func (c *coordinator) openJournal() error {
+	hdr := c.res.Spec.header(len(c.jobs))
+	if c.res.Resume {
+		if _, err := os.Stat(c.res.Checkpoint); err == nil {
+			j, recovered, err := OpenJournal(c.res.Checkpoint, hdr)
+			if err != nil {
+				return err
+			}
+			c.journal = j
+			for job, out := range recovered {
+				if job < 0 || job >= len(c.jobs) || c.done[job] {
+					continue
+				}
+				c.done[job] = true
+				c.resolved++
+				c.stats.Resumed++
+				c.f.push(indexed{idx: job, out: out})
+			}
+			c.res.logf("campaign: resumed %d/%d jobs from %s", c.stats.Resumed, len(c.jobs), c.res.Checkpoint)
+		} else if os.IsNotExist(err) {
+			c.res.logf("campaign: -resume with no journal at %s; starting fresh", c.res.Checkpoint)
+		} else {
+			return err
+		}
+	}
+	if c.journal == nil {
+		j, err := CreateJournal(c.res.Checkpoint, hdr)
+		if err != nil {
+			return err
+		}
+		c.journal = j
+	}
+	c.journal.onAppend = func(n int) error {
+		if fault := c.res.Chaos.TailFaultAt(n); fault != faultinject.TailNone {
+			return injectedCrash{fault: fault}
+		}
+		return nil
+	}
+	return nil
+}
+
+func (c *coordinator) loop() (*Report, error) {
+	// doneCh is disarmed after its first fire: the channel stays closed
+	// forever, and re-selecting it would spin the loop while in-flight
+	// results drain.
+	doneCh := c.ctx.Done()
+	onDone := func() {
+		doneCh = nil
+		c.stopDispatch = true
+		if c.parent.Err() != nil {
+			// External cancellation (SIGINT relayed by the caller), not our
+			// own StopOnFail/abort cancel.
+			c.interrupted = true
+			c.res.logf("campaign: interrupted; waiting for in-flight jobs (leases bound the wait)")
+		}
+	}
+	for {
+		if c.resolved == len(c.jobs) {
+			break
+		}
+		// Observe cancellation before dispatching, not only in the select —
+		// a cancel raised inside handle() (OnResult, StopOnFail) must not let
+		// another dispatch round slip through first.
+		if doneCh != nil && c.ctx.Err() != nil {
+			onDone()
+		}
+		c.dispatchReady()
+		if c.stopDispatch && c.inflight() == 0 {
+			break
+		}
+		var timerC <-chan time.Time
+		if wake, ok := c.nextWake(); ok {
+			d := wake.Sub(c.clock.Now())
+			if d < 0 {
+				d = 0 // already due; poll the event channel once, then act
+			}
+			timerC = c.clock.After(d)
+		}
+		select {
+		case ev := <-c.events:
+			if rep, err, final := c.handle(ev); final {
+				return rep, err
+			}
+		case <-timerC:
+			c.onTick()
+		case <-doneCh:
+			onDone()
+			c.onTick()
+		}
+	}
+	return c.finish()
+}
+
+// finish closes the journal and assembles the final report for every
+// non-crash exit.
+func (c *coordinator) finish() (*Report, error) {
+	var journalErr error
+	if c.journal != nil {
+		journalErr = c.journal.Close()
+	}
+	if c.interrupted && c.journal != nil {
+		rep := c.f.report(c.target, c.quarantined)
+		return rep, &InterruptedError{
+			Checkpoint: c.res.Checkpoint,
+			Done:       c.resolved,
+			Jobs:       len(c.jobs),
+			Cause:      context.Cause(c.parent),
+		}
+	}
+	// Fold everything unresolved as skipped (interrupt without a checkpoint,
+	// StopOnFail, job error) so the summary accounts for every job, exactly
+	// like the plain path.
+	for i := range c.jobs {
+		if !c.done[i] {
+			c.f.push(indexed{idx: i, skipped: true})
+		}
+	}
+	rep := c.f.report(c.target, c.quarantined)
+	if c.firstErr != nil {
+		return rep, c.firstErr
+	}
+	if journalErr != nil {
+		return rep, fmt.Errorf("campaign: closing checkpoint journal: %w", journalErr)
+	}
+	return rep, nil
+}
+
+// crash is the injected-coordinator-death exit: close the journal with
+// everything appended so far, then mangle its tail as the fault dictates.
+func (c *coordinator) crash(fault faultinject.TailFault) (*Report, error) {
+	if c.journal != nil {
+		_ = c.journal.Close()
+		switch fault {
+		case faultinject.TailTruncate:
+			if err := MangleTail(c.res.Checkpoint, "trunc"); err != nil {
+				return nil, err
+			}
+		case faultinject.TailCorrupt:
+			if err := MangleTail(c.res.Checkpoint, "corrupt"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rep := c.f.report(c.target, c.quarantined)
+	return rep, &InterruptedError{
+		Checkpoint: c.res.Checkpoint,
+		Done:       c.resolved,
+		Jobs:       len(c.jobs),
+		Injected:   true,
+	}
+}
+
+func (c *coordinator) inflight() int {
+	n := 0
+	for _, ws := range c.workers {
+		if ws.job >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// dispatchReady grants leases for due ready items to idle workers.
+func (c *coordinator) dispatchReady() {
+	if c.stopDispatch {
+		return
+	}
+	now := c.clock.Now()
+	for len(c.ready) > 0 && !c.ready[0].readyAt.After(now) {
+		var ws *workerState
+		for _, cand := range c.workers {
+			if cand.job < 0 {
+				ws = cand
+				break
+			}
+		}
+		if ws == nil {
+			return
+		}
+		item := heap.Pop(&c.ready).(readyItem)
+		if c.done[item.job] {
+			continue
+		}
+		ws.job = item.job
+		ws.attempt = item.attempt
+		ws.deadline = now.Add(c.res.lease())
+		ws.expired = false
+		c.stats.Leases++
+		req := workReq{Job: item.job, Seed: SeedFor(c.cfg.Seed, item.job), Attempt: item.attempt}
+		if err := ws.handle.dispatch(req); err != nil {
+			// A failed write means the worker is dying; its death notice will
+			// requeue the lease. Shorten the deadline so a silent failure
+			// cannot stall the job for a full lease.
+			c.res.logf("campaign: dispatch to worker failed (%v); lease will be reclaimed", err)
+			ws.deadline = now
+		}
+	}
+}
+
+// nextWake returns the earliest instant the coordinator must act without an
+// event: a lease deadline or a backoff expiry (the latter only matters when
+// a worker is idle to take the job).
+func (c *coordinator) nextWake() (time.Time, bool) {
+	var (
+		wake time.Time
+		any  bool
+	)
+	consider := func(t time.Time) {
+		if !any || t.Before(wake) {
+			wake, any = t, true
+		}
+	}
+	idle := false
+	for _, ws := range c.workers {
+		if ws.job >= 0 && !ws.expired {
+			consider(ws.deadline)
+		}
+		if ws.job < 0 {
+			idle = true
+		}
+	}
+	if idle && len(c.ready) > 0 {
+		consider(c.ready[0].readyAt)
+	}
+	return wake, any
+}
+
+// onTick expires overdue leases: the job is requeued (in-process) or the
+// worker killed so its death notice requeues it (process workers, whose
+// serial pipeline is blocked by the hung job).
+func (c *coordinator) onTick() {
+	now := c.clock.Now()
+	for _, ws := range c.workers {
+		if ws.job < 0 || ws.expired || ws.deadline.After(now) {
+			continue
+		}
+		ws.expired = true
+		c.stats.Expired++
+		c.lastErr[ws.job] = fmt.Sprintf("lease expired after %s (attempt %d)", c.res.lease(), ws.attempt)
+		c.res.logf("campaign: lease on job %d expired (attempt %d)", ws.job, ws.attempt)
+		// Route the job elsewhere right away on both substrates; expired
+		// workers are excluded from the death-notice requeue so this is the
+		// only one. A late result from the old attempt is deduplicated.
+		c.requeue(ws.job, ws.attempt)
+		if !ws.inproc {
+			// The process can actually be killed; its death notice triggers
+			// the respawn.
+			ws.handle.kill()
+		}
+	}
+}
+
+// requeue puts a lost attempt back on the queue with capped exponential
+// backoff and deterministic jitter, or quarantines the job once its retry
+// budget is spent.
+func (c *coordinator) requeue(job, failedAttempt int) {
+	if c.done[job] {
+		return
+	}
+	next := failedAttempt + 1
+	if next > c.res.retries() {
+		c.quarantined = append(c.quarantined, QuarantineRecord{
+			Job:      job,
+			Name:     c.jobs[job].Name,
+			Attempts: next,
+			LastErr:  c.lastErr[job],
+		})
+		c.stats.Quarantined++
+		c.done[job] = true
+		c.resolved++
+		c.f.push(indexed{idx: job, quarantined: true})
+		c.res.logf("campaign: quarantined job %d (%s) after %d attempts: %s", job, c.jobs[job].Name, next, c.lastErr[job])
+		return
+	}
+	c.stats.Requeues++
+	delay := c.res.backoff(next, SeedFor(c.cfg.Seed, job))
+	heap.Push(&c.ready, readyItem{job: job, attempt: next, readyAt: c.clock.Now().Add(delay), seq: c.seq})
+	c.seq++
+}
+
+// abort records a fatal infrastructure error and stops dispatching; in-flight
+// results still fold.
+func (c *coordinator) abort(jobIdx int, err error) {
+	if c.firstErr == nil || (jobIdx >= 0 && jobIdx < c.errIdx) {
+		c.firstErr, c.errIdx = err, jobIdx
+	}
+	c.stopDispatch = true
+	c.cancel()
+}
+
+// handle processes one worker event. final reports that the campaign must
+// return immediately (injected coordinator crash).
+func (c *coordinator) handle(ev coordEvent) (*Report, error, bool) {
+	if ev.down {
+		c.handleDown(ev)
+		return nil, nil, false
+	}
+	ws := c.workers[ev.worker]
+	if ws != nil && ws.job == ev.job {
+		ws.job = -1
+		ws.expired = false
+	}
+	c.deaths = 0
+	if ev.jobErr != nil {
+		// Parity with the plain path: a job error is an infrastructure
+		// failure that aborts the campaign; the job folds as skipped.
+		if !c.done[ev.job] {
+			c.done[ev.job] = true
+			c.resolved++
+			c.f.push(indexed{idx: ev.job, skipped: true})
+		}
+		c.abort(ev.job, fmt.Errorf("campaign: job %d (%s): %w", ev.job, c.jobs[ev.job].Name, ev.jobErr))
+		return nil, nil, false
+	}
+	if c.done[ev.job] {
+		return nil, nil, false // duplicate from an expired lease; outcomes are deterministic, first wins
+	}
+	if c.journal != nil {
+		if err := c.journal.Append(ev.out); err != nil {
+			var ic injectedCrash
+			if errors.As(err, &ic) {
+				rep, ierr := c.crash(ic.fault)
+				return rep, ierr, true
+			}
+			c.abort(ev.job, fmt.Errorf("campaign: checkpoint append: %w", err))
+			return nil, nil, false
+		}
+		c.stats.Checkpointed++
+	}
+	c.done[ev.job] = true
+	c.resolved++
+	if c.f.push(indexed{idx: ev.job, out: ev.out}) && c.cfg.StopOnFail {
+		c.stopDispatch = true
+		c.cancel()
+	}
+	return nil, nil, false
+}
+
+func (c *coordinator) handleDown(ev coordEvent) {
+	ws := c.workers[ev.worker]
+	if ws == nil {
+		return
+	}
+	delete(c.workers, ev.worker)
+	c.stats.WorkerDeaths++
+	c.deaths++
+	why := "exited"
+	if ev.downErr != nil {
+		why = ev.downErr.Error()
+	}
+	c.res.logf("campaign: worker %d died (%s)", ev.worker, why)
+	if ws.job >= 0 && !ws.expired && !c.done[ws.job] {
+		c.lastErr[ws.job] = fmt.Sprintf("worker died (%s) holding attempt %d", why, ws.attempt)
+		c.requeue(ws.job, ws.attempt)
+	}
+	if c.deaths > maxConsecutiveDeaths {
+		c.abort(-1, fmt.Errorf("campaign: %d consecutive worker deaths without progress, last: %s", c.deaths, why))
+		return
+	}
+	if !c.stopDispatch && c.resolved < len(c.jobs) && len(c.workers) < c.target {
+		if err := c.spawn(); err != nil {
+			c.abort(-1, err)
+			return
+		}
+		c.stats.Respawns++
+	}
+}
+
+// spawn starts one worker of the configured substrate.
+func (c *coordinator) spawn() error {
+	id := c.nextID
+	c.nextID++
+	ws := &workerState{job: -1}
+	if c.res.Procs > 0 {
+		pw, err := c.spawnProc(id)
+		if err != nil {
+			return fmt.Errorf("campaign: spawning worker process: %w", err)
+		}
+		ws.handle = pw
+	} else {
+		gw := &goWorker{id: id, ch: make(chan workReq, 1), c: c}
+		go gw.run()
+		ws.handle = gw
+		ws.inproc = true
+	}
+	c.workers[id] = ws
+	return nil
+}
+
+// shutdownWorkers releases every worker: gracefully on clean completion
+// (close of input), forcefully on abort/interrupt.
+func (c *coordinator) shutdownWorkers(force bool) {
+	for _, ws := range c.workers {
+		if force && !ws.inproc {
+			ws.handle.kill()
+		} else {
+			ws.handle.shutdown()
+		}
+	}
+}
+
+// send delivers an event unless the coordinator has already returned.
+func (c *coordinator) send(ev coordEvent) bool {
+	select {
+	case c.events <- ev:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// goWorker is an in-process worker goroutine. Injected worker-side faults
+// execute here: a kill directive makes the goroutine die between jobs
+// exactly like a crashed process (no result, a death notice), and
+// stall/delay directives sleep while holding the lease.
+type goWorker struct {
+	id        int
+	ch        chan workReq
+	c         *coordinator
+	completed int
+}
+
+func (w *goWorker) run() {
+	for req := range w.ch {
+		if ka := w.c.res.Chaos.KillAfter(); ka > 0 && w.completed >= ka {
+			w.c.res.logf("campaign: worker %d chaos-killed after %d jobs", w.id, w.completed)
+			w.c.send(coordEvent{worker: w.id, down: true, downErr: fmt.Errorf("fault injection: killed after %d jobs", w.completed)})
+			return
+		}
+		if d := w.c.res.Chaos.StallFor(req.Job, req.Attempt); d > 0 {
+			w.c.clock.Sleep(d)
+		}
+		out, err := runJob(w.c.ctx, w.c.jobs[req.Job], req.Job, req.Seed)
+		if d := w.c.res.Chaos.DelayFor(req.Job, req.Attempt); d > 0 {
+			w.c.clock.Sleep(d)
+		}
+		w.completed++
+		if !w.c.send(coordEvent{worker: w.id, job: req.Job, attempt: req.Attempt, out: out, jobErr: err}) {
+			return
+		}
+	}
+}
+
+func (w *goWorker) dispatch(req workReq) error { w.ch <- req; return nil }
+func (w *goWorker) kill()                      { close(w.ch) }
+func (w *goWorker) shutdown()                  { close(w.ch) }
+
+// procWorker is a child worker process speaking the JSONL protocol.
+type procWorker struct {
+	id    int
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	enc   *json.Encoder
+}
+
+func (c *coordinator) spawnProc(id int) (*procWorker, error) {
+	argv := c.res.WorkerArgv
+	cmd := exec.Command(argv[0], argv[1:]...)
+	env := append(os.Environ(), EnvWorker+"=1")
+	if spec := c.res.Chaos.Spec(); spec != "" {
+		env = append(env, EnvChaos+"="+spec, fmt.Sprintf("%s=%d", EnvChaosSeed, c.res.Chaos.Seed()))
+	}
+	cmd.Env = env
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	w := &procWorker{id: id, cmd: cmd, stdin: stdin, enc: json.NewEncoder(stdin)}
+	go c.readProc(w, stdout)
+	return w, nil
+}
+
+// readProc pumps one child's stdout into the event loop: hello validation,
+// then results; on stream end it reaps the process and reports the death.
+func (c *coordinator) readProc(w *procWorker, stdout io.Reader) {
+	var readErr error
+	dec := json.NewDecoder(stdout)
+	sawHello := false
+	for {
+		var resp workResp
+		if err := dec.Decode(&resp); err != nil {
+			if err != io.EOF {
+				readErr = err
+			}
+			break
+		}
+		if resp.Hello != nil {
+			if resp.Hello.Jobs != len(c.jobs) {
+				readErr = fmt.Errorf("worker rebuilt %d jobs, coordinator has %d — argument drift between parent and worker", resp.Hello.Jobs, len(c.jobs))
+				break
+			}
+			sawHello = true
+			continue
+		}
+		if !sawHello {
+			readErr = fmt.Errorf("worker spoke before its hello")
+			break
+		}
+		ev := coordEvent{worker: w.id, job: resp.Job}
+		switch {
+		case resp.Err != "":
+			ev.jobErr = errors.New(resp.Err)
+		case resp.Outcome != nil:
+			ev.out = resp.Outcome.outcome()
+		default:
+			continue
+		}
+		if !c.send(ev) {
+			break
+		}
+	}
+	w.stdin.Close()
+	if w.cmd.Process != nil && readErr != nil {
+		w.cmd.Process.Kill()
+	}
+	waitErr := w.cmd.Wait()
+	downErr := readErr
+	if downErr == nil {
+		downErr = waitErr
+	}
+	c.send(coordEvent{worker: w.id, down: true, downErr: downErr})
+}
+
+func (w *procWorker) dispatch(req workReq) error { return w.enc.Encode(req) }
+func (w *procWorker) shutdown()                  { w.stdin.Close() }
+func (w *procWorker) kill() {
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+}

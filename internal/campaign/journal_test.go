@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader(jobs int) JournalHeader {
+	return JournalHeader{Version: journalVersion, Kind: "fuzz", Params: `{"n":3}`, Seed: 42, Jobs: jobs}
+}
+
+func testOutcome(i int) Outcome {
+	return Outcome{
+		Job:     i,
+		Name:    "job",
+		Verdict: "ok",
+		Ok:      true,
+		Steps:   i * 10,
+		Tallies: map[string]int{"runs": i},
+		Detail:  map[string]any{"z": i, "a": "x"},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j, err := CreateJournal(path, testHeader(5))
+	if err != nil {
+		t.Fatalf("CreateJournal: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(testOutcome(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if j.Appends() != 5 {
+		t.Errorf("Appends = %d", j.Appends())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, done, err := OpenJournal(path, testHeader(5))
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j2.Close()
+	if len(done) != 5 {
+		t.Fatalf("recovered %d outcomes, want 5", len(done))
+	}
+	// The recovered outcome must re-encode to the same bytes as the live one
+	// (Detail comes back as RawMessage; Go's map-key sorting makes the
+	// encodings canonical).
+	want, _ := json.Marshal(testOutcome(3))
+	got, _ := json.Marshal(done[3])
+	if !bytes.Equal(want, got) {
+		t.Errorf("outcome 3 round-trip drifted:\n  live:      %s\n  recovered: %s", want, got)
+	}
+}
+
+func TestJournalHeaderMismatchRefused(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j, err := CreateJournal(path, testHeader(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	for _, want := range []JournalHeader{
+		{Kind: "other", Params: `{"n":3}`, Seed: 42, Jobs: 5},
+		{Kind: "fuzz", Params: `{"n":4}`, Seed: 42, Jobs: 5},
+		{Kind: "fuzz", Params: `{"n":3}`, Seed: 43, Jobs: 5},
+		{Kind: "fuzz", Params: `{"n":3}`, Seed: 42, Jobs: 6},
+	} {
+		if _, _, err := OpenJournal(path, want); err == nil {
+			t.Errorf("OpenJournal accepted mismatched header %+v", want)
+		}
+	}
+}
+
+func TestJournalTornTailDropped(t *testing.T) {
+	t.Parallel()
+	for _, fault := range []string{"trunc", "corrupt"} {
+		fault := fault
+		t.Run(fault, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(t.TempDir(), "ck.jsonl")
+			j, err := CreateJournal(path, testHeader(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if err := j.Append(testOutcome(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			j.Close()
+			if err := MangleTail(path, fault); err != nil {
+				t.Fatalf("MangleTail: %v", err)
+			}
+			j2, done, err := OpenJournal(path, testHeader(4))
+			if err != nil {
+				t.Fatalf("OpenJournal after %s: %v", fault, err)
+			}
+			defer j2.Close()
+			if len(done) != 3 {
+				t.Fatalf("recovered %d outcomes after %s, want 3 (tail dropped)", len(done), fault)
+			}
+			if _, ok := done[3]; ok {
+				t.Error("the mangled record survived")
+			}
+		})
+	}
+}
+
+func TestJournalRotationCompacts(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j, err := CreateJournal(path, testHeader(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate appends (a requeued lease whose first result also landed).
+	for _, i := range []int{0, 1, 1, 2, 0} {
+		o := testOutcome(i)
+		if i == 0 {
+			o.Steps = 1 // first write for job 0
+		}
+		if err := j.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, done, err := OpenJournal(path, testHeader(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(done) != 3 {
+		t.Fatalf("recovered %d outcomes, want 3", len(done))
+	}
+	if done[0].Steps != 1 {
+		t.Errorf("dedup kept the later write (steps=%d), want first-wins", done[0].Steps)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimRight(string(data), "\n"), "\n") + 1
+	if lines != 4 { // header + 3 unique outcomes
+		t.Errorf("rotated journal has %d lines, want 4:\n%s", lines, data)
+	}
+	if ghosts, _ := filepath.Glob(path + ".rotate-*"); len(ghosts) != 0 {
+		t.Errorf("rotation temp files left behind: %v", ghosts)
+	}
+	// Reopening the compacted journal must still work (idempotent resume).
+	j3, done3, err := OpenJournal(path, testHeader(3))
+	if err != nil || len(done3) != 3 {
+		t.Fatalf("second OpenJournal: %d outcomes, %v", len(done3), err)
+	}
+	j3.Close()
+}
+
+func TestJournalAppendAfterResume(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j, err := CreateJournal(path, testHeader(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(testOutcome(0))
+	j.Append(testOutcome(1))
+	j.Close()
+
+	j2, _, err := OpenJournal(path, testHeader(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append(testOutcome(2))
+	j2.Append(testOutcome(3))
+	j2.Close()
+
+	_, done, err := OpenJournal(path, testHeader(4))
+	if err != nil || len(done) != 4 {
+		t.Fatalf("after resume+append: %d outcomes, %v", len(done), err)
+	}
+}
+
+func TestJournalGarbageRefused(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	os.WriteFile(empty, nil, 0o644)
+	if _, _, err := OpenJournal(empty, testHeader(1)); err == nil {
+		t.Error("empty journal accepted")
+	}
+	junk := filepath.Join(dir, "junk.jsonl")
+	os.WriteFile(junk, []byte("not json at all\n"), 0o644)
+	if _, _, err := OpenJournal(junk, testHeader(1)); err == nil {
+		t.Error("junk journal accepted")
+	}
+}
+
+func TestWireOutcomeRejectsUnserializableDetail(t *testing.T) {
+	t.Parallel()
+	_, err := toWire(Outcome{Job: 1, Detail: func() {}})
+	if err == nil {
+		t.Fatal("a func Detail serialized")
+	}
+}

@@ -22,12 +22,14 @@ type Heartbeat struct {
 	// Seq numbers the heartbeats of a campaign from 1; the final snapshot on
 	// the Report reuses the last periodic Seq (or 0 if none fired).
 	Seq int `json:"seq"`
-	// Jobs is the campaign size; Completed + Skipped jobs have been folded.
-	Jobs      int `json:"jobs"`
-	Completed int `json:"completed"`
-	Skipped   int `json:"skipped,omitempty"`
-	Ok        int `json:"ok"`
-	Failed    int `json:"failed"`
+	// Jobs is the campaign size; Completed + Skipped + Quarantined jobs have
+	// been folded.
+	Jobs        int `json:"jobs"`
+	Completed   int `json:"completed"`
+	Skipped     int `json:"skipped,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	Ok          int `json:"ok"`
+	Failed      int `json:"failed"`
 	// StepsSum is the sum of Outcome.Steps over completed jobs so far.
 	StepsSum int64 `json:"steps_sum"`
 	// Verdicts is a point-in-time copy of the verdict tallies.
@@ -39,6 +41,12 @@ type Heartbeat struct {
 	JobsPerSec  float64       `json:"jobs_per_sec"`
 	StepsPerSec float64       `json:"steps_per_sec"`
 	ETA         time.Duration `json:"eta_ns"`
+
+	// Dispatch carries the coordinator's self-healing counters (leases,
+	// requeues, expiries, worker deaths/respawns, checkpoint activity) on
+	// coordinated runs; nil on the plain in-process path. Timing-dependent
+	// telemetry, like the rates above.
+	Dispatch *DispatchStats `json:"dispatch,omitempty"`
 }
 
 type heartbeatKey struct{}
@@ -71,15 +79,20 @@ func (a *aggregate) snapshot(seq, jobs int, start time.Time) Heartbeat {
 		verdicts[k] = v
 	}
 	hb := Heartbeat{
-		Seq:       seq,
-		Jobs:      jobs,
-		Completed: a.completed,
-		Skipped:   a.skipped,
-		Ok:        a.ok,
-		Failed:    a.completed - a.ok,
-		StepsSum:  a.stepsSum,
-		Verdicts:  verdicts,
-		Elapsed:   time.Since(start),
+		Seq:         seq,
+		Jobs:        jobs,
+		Completed:   a.completed,
+		Skipped:     a.skipped,
+		Quarantined: a.quarantined,
+		Ok:          a.ok,
+		Failed:      a.completed - a.ok,
+		StepsSum:    a.stepsSum,
+		Verdicts:    verdicts,
+		Elapsed:     time.Since(start),
+	}
+	if a.dispatch != nil {
+		snap := *a.dispatch
+		hb.Dispatch = &snap
 	}
 	if secs := hb.Elapsed.Seconds(); secs > 0 {
 		hb.JobsPerSec = float64(a.completed+a.skipped) / secs

@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/settimeliness/settimeliness/internal/faultinject"
+)
+
+// The coordinator/worker process protocol: newline-delimited JSON over the
+// child's stdin/stdout. The child rebuilds the campaign's job list from the
+// same CLI arguments the parent parsed, announces how many jobs it sees
+// (hello), then serves one request at a time:
+//
+//	child  → {"hello":{"jobs":N,"pid":P}}
+//	parent → {"job":17,"seed":123456789,"attempt":0}
+//	child  → {"job":17,"outcome":{...}}            (or {"job":17,"err":"..."})
+//
+// A job-count mismatch in the hello means the child rebuilt a different
+// campaign (argument drift) and is treated as a worker failure. Seeds are
+// authoritative from the parent, so the wire protocol — not the child's own
+// arithmetic — fixes the derived-seed contract. stderr is inherited from the
+// parent for human-readable diagnostics.
+
+// Environment contract between coordinator and spawned workers.
+const (
+	// EnvWorker marks a process as a campaign worker; the CLI (and the test
+	// binary's TestMain) route to worker mode when it is set.
+	EnvWorker = "STM_CAMPAIGN_WORKER"
+	// EnvChaos and EnvChaosSeed carry the fault plan to workers so
+	// worker-side directives (kill, stall, delay) execute in the child.
+	EnvChaos     = "STM_CAMPAIGN_CHAOS"
+	EnvChaosSeed = "STM_CAMPAIGN_CHAOS_SEED"
+)
+
+// workReq is one job assignment from coordinator to worker.
+type workReq struct {
+	Job     int   `json:"job"`
+	Seed    int64 `json:"seed"`
+	Attempt int   `json:"attempt"`
+}
+
+// workResp is one worker-to-coordinator message: the hello handshake or a
+// job result.
+type workResp struct {
+	Hello   *workerHello `json:"hello,omitempty"`
+	Job     int          `json:"job"`
+	Outcome *wireOutcome `json:"outcome,omitempty"`
+	Err     string       `json:"err,omitempty"`
+}
+
+type workerHello struct {
+	Jobs int `json:"jobs"`
+	Pid  int `json:"pid"`
+}
+
+type serveKey struct{}
+
+type serveIO struct {
+	in  io.Reader
+	out io.Writer
+}
+
+// WithWorkerServe returns a context that makes campaign.Run serve its job
+// list over the worker protocol (reading requests from in, writing results
+// to out) instead of executing the campaign. The CLI's worker mode installs
+// it so each subcommand's own job construction runs unchanged in the child;
+// Run then returns an empty report once the coordinator closes the stream.
+func WithWorkerServe(ctx context.Context, in io.Reader, out io.Writer) context.Context {
+	return context.WithValue(ctx, serveKey{}, &serveIO{in: in, out: out})
+}
+
+// ServingWorker reports whether ctx routes campaign.Run into worker-serve
+// mode. CLI helpers use it to neutralize parent-only side effects (sink
+// files, debug servers, checkpointing) inside worker processes.
+func ServingWorker(ctx context.Context) bool { return serveFrom(ctx) != nil }
+
+func serveFrom(ctx context.Context) *serveIO {
+	s, _ := ctx.Value(serveKey{}).(*serveIO)
+	return s
+}
+
+// workerChaosFromEnv rebuilds the injector a coordinator shipped via the
+// chaos environment variables; absent or unparsable plans inject nothing (a
+// mis-set plan in a child must not silently alter results, so parse errors
+// are reported on stderr).
+func workerChaosFromEnv() *faultinject.Injector {
+	spec := os.Getenv(EnvChaos)
+	if spec == "" {
+		return nil
+	}
+	plan, err := faultinject.Parse(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign worker: ignoring bad chaos plan %q: %v\n", spec, err)
+		return nil
+	}
+	seed, _ := strconv.ParseInt(os.Getenv(EnvChaosSeed), 10, 64)
+	return faultinject.New(plan, seed)
+}
+
+// serveWorker is the worker side of the protocol: run the requested jobs
+// one at a time until the coordinator closes stdin. Worker-side fault
+// directives execute here — a stall sleeps before the job, a delay sleeps
+// before the reply, and a kill terminates the process mid-job without
+// replying, exactly like a crash or preemption would.
+func serveWorker(ctx context.Context, srv *serveIO, jobs []Job) (*Report, error) {
+	chaos := workerChaosFromEnv()
+	clock := faultinject.Wall()
+	enc := json.NewEncoder(srv.out)
+	if err := enc.Encode(workResp{Hello: &workerHello{Jobs: len(jobs), Pid: os.Getpid()}}); err != nil {
+		return nil, fmt.Errorf("campaign worker: hello: %w", err)
+	}
+	dec := json.NewDecoder(srv.in)
+	completed := 0
+	for {
+		var req workReq
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return &Report{}, nil // coordinator is done with us
+			}
+			return nil, fmt.Errorf("campaign worker: read request: %w", err)
+		}
+		if req.Job < 0 || req.Job >= len(jobs) {
+			if err := enc.Encode(workResp{Job: req.Job, Err: fmt.Sprintf("job %d out of range [0,%d)", req.Job, len(jobs))}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if ka := chaos.KillAfter(); ka > 0 && completed >= ka {
+			// Injected worker crash: die holding the job, without replying.
+			// os.Exit skips deferred cleanup on purpose — that is what a
+			// SIGKILL'd or preempted worker looks like to the coordinator.
+			fmt.Fprintf(os.Stderr, "campaign worker %d: chaos kill after %d jobs\n", os.Getpid(), completed)
+			os.Exit(137)
+		}
+		if d := chaos.StallFor(req.Job, req.Attempt); d > 0 {
+			clock.Sleep(d)
+		}
+		out, err := runJob(ctx, jobs[req.Job], req.Job, req.Seed)
+		resp := workResp{Job: req.Job}
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			w, werr := toWire(out)
+			if werr != nil {
+				resp.Err = werr.Error()
+			} else {
+				resp.Outcome = &w
+			}
+		}
+		if d := chaos.DelayFor(req.Job, req.Attempt); d > 0 {
+			clock.Sleep(d)
+		}
+		completed++
+		if err := enc.Encode(resp); err != nil {
+			return nil, fmt.Errorf("campaign worker: write result: %w", err)
+		}
+	}
+}

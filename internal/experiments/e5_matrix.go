@@ -133,7 +133,10 @@ func runMatrixSweep(ctx context.Context, problems []core.Problem, seed int64, po
 	// historical sequential loop produced.
 	cells := make([]MatrixCell, 0, len(jobs))
 	collect := func(o campaign.Outcome) {
-		if c, ok := o.Detail.(MatrixCell); ok {
+		// DecodeDetail rather than a bare type assertion: on a resumed
+		// (checkpointed) campaign the recovered outcomes carry their cells as
+		// raw JSON.
+		if c, ok := campaign.DecodeDetail[MatrixCell](o.Detail); ok {
 			cells = append(cells, c)
 		}
 		if onResult != nil {

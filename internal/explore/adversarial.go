@@ -194,7 +194,7 @@ func AdversarialPooledCampaign(ctx context.Context, workers, n, steps, runs int,
 	}
 	executed := rep.Summary.Tallies["runs"]
 	if len(rep.Failures) > 0 {
-		if v, ok := rep.Failures[0].Detail.(*Violation); ok {
+		if v, ok := campaign.DecodeDetail[*Violation](rep.Failures[0].Detail); ok && v != nil {
 			return rep, executed, v
 		}
 		return rep, executed, fmt.Errorf("explore: adversary failed to starve the solver in %d job(s)", len(rep.Failures))

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"github.com/settimeliness/settimeliness/internal/campaign"
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
@@ -64,6 +65,10 @@ type PooledBuilder func() (*Run, error)
 type Violation struct {
 	Schedule sched.Schedule
 	Err      error
+	// scheduleStr preserves the schedule's rendering across a JSON round
+	// trip (checkpoint journals, the worker wire protocol); the structured
+	// Schedule does not survive marshaling.
+	scheduleStr string
 	// Flight, when non-empty, is the formatted tail of the failing run from
 	// an attached flight recorder (see internal/obs): the last K executed
 	// steps with process, op kind, and register resolved. Directed runs have
@@ -72,7 +77,14 @@ type Violation struct {
 }
 
 func (v *Violation) Error() string {
-	return fmt.Sprintf("explore: violated on schedule %v: %v", v.Schedule, v.Err)
+	return fmt.Sprintf("explore: violated on schedule %v: %v", v.scheduleText(), v.Err)
+}
+
+func (v *Violation) scheduleText() string {
+	if len(v.Schedule) > 0 || v.scheduleStr == "" {
+		return v.Schedule.String()
+	}
+	return v.scheduleStr
 }
 
 // MarshalJSON renders the violation for JSONL emission; the wrapped error
@@ -83,7 +95,24 @@ func (v *Violation) MarshalJSON() ([]byte, error) {
 		Schedule string `json:"schedule"`
 		Err      string `json:"err"`
 		Flight   string `json:"flight,omitempty"`
-	}{v.Schedule.String(), v.Err.Error(), v.Flight})
+	}{v.scheduleText(), v.Err.Error(), v.Flight})
+}
+
+// UnmarshalJSON rebuilds a violation from its emitted form, so a violation
+// recovered from a checkpoint journal (or the worker wire protocol) still
+// reports as one. The schedule comes back as text only and the error as its
+// message.
+func (v *Violation) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Schedule string `json:"schedule"`
+		Err      string `json:"err"`
+		Flight   string `json:"flight,omitempty"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*v = Violation{Err: errors.New(w.Err), Flight: w.Flight, scheduleStr: w.Schedule}
+	return nil
 }
 
 // runOne executes one finite schedule from a fresh build and applies the
@@ -102,8 +131,19 @@ func runOne(n int, schedule sched.Schedule, build Builder) error {
 	return nil
 }
 
-// runPooled executes one finite schedule on a recycled Run.
+// runPooled executes one finite schedule on a recycled Run. A panic inside
+// the run is re-raised with the flight recorder's tail attached (when one is
+// enabled), so the campaign engine's panic isolation captures the last
+// executed steps alongside the stack.
 func runPooled(run *Run, schedule sched.Schedule) error {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if dump := obs.FlightDump(run.Runner); dump != "" {
+				panic(fmt.Sprintf("%v\nflight recorder tail:\n%s", rec, dump))
+			}
+			panic(rec)
+		}
+	}()
 	if run.Reset != nil {
 		run.Reset()
 	}
@@ -191,7 +231,7 @@ func runCampaign(ctx context.Context, workers, total int, nth func(int) sched.Sc
 	}
 	runs := rep.Summary.Tallies["runs"]
 	if len(rep.Failures) > 0 {
-		if v, ok := rep.Failures[0].Detail.(*Violation); ok {
+		if v, ok := campaign.DecodeDetail[*Violation](rep.Failures[0].Detail); ok && v != nil {
 			return rep, runs, v
 		}
 	}

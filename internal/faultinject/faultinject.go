@@ -1,0 +1,298 @@
+// Package faultinject provides deterministic, seed-driven fault plans for
+// the campaign coordinator: kill a worker after it has completed k jobs,
+// stall or delay a specific (or probabilistically selected) job, and crash
+// the coordinator after k checkpoint appends — optionally mangling the
+// journal tail the way a real mid-write kill would. Plans are parsed from a
+// compact grammar so the same fault schedule can be injected from tests, the
+// CLI (-chaos), and CI:
+//
+//	plan      := directive (";" directive)*
+//	directive := "kill@" N            kill each worker during its (N+1)-th job
+//	           | "stall@" sel "~" dur stall the job's execution (first attempt only)
+//	           | "delay@" sel "~" dur delay the job's result delivery (first attempt only)
+//	           | "crash@" N           crash the coordinator after N checkpoint appends
+//	           | "trunc@" N           ... tearing the final record mid-byte
+//	           | "corrupt@" N         ... flipping a byte of the final record
+//	sel       := jobIndex | "p" prob  explicit job index, or per-job probability
+//	dur       := Go duration ("150ms", "2s")
+//
+// Determinism: probabilistic selections hash (seed, job) with a splitmix64
+// mix, so a plan plus a seed names exactly one fault schedule. Stall and
+// delay fire only on a job's first attempt — they model transient faults the
+// coordinator must heal, so a retry of the same job runs clean.
+//
+// The package also defines the Clock interface the coordinator tells time
+// through, making timeouts injectable for tests.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Clock abstracts wall-clock operations for the coordinator so tests and
+// fault harnesses can substitute their own time source.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// Wall returns the real-time clock.
+func Wall() Clock { return wallClock{} }
+
+// TailFault says what a coordinator crash directive leaves behind in the
+// checkpoint journal.
+type TailFault int
+
+const (
+	// TailNone: no crash at this point.
+	TailNone TailFault = iota
+	// TailClean: crash with the last record fully written.
+	TailClean
+	// TailTruncate: crash mid-write — the last record is torn partway through.
+	TailTruncate
+	// TailCorrupt: the last record's bytes were mangled (bit rot, torn sector).
+	TailCorrupt
+)
+
+func (t TailFault) String() string {
+	switch t {
+	case TailNone:
+		return "none"
+	case TailClean:
+		return "crash"
+	case TailTruncate:
+		return "trunc"
+	case TailCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("TailFault(%d)", int(t))
+}
+
+// selector picks jobs either by explicit index or by seeded probability.
+type selector struct {
+	job  int     // explicit job index; -1 when probabilistic
+	prob float64 // per-job probability; used when job < 0
+}
+
+func (s selector) picks(job int, seed int64) bool {
+	if s.job >= 0 {
+		return job == s.job
+	}
+	return unit(seed, job) < s.prob
+}
+
+// unit maps (seed, job) to a uniform float64 in [0, 1) via the splitmix64
+// finalizer — the same mixing discipline campaign.SeedFor uses.
+func unit(seed int64, job int) float64 {
+	z := uint64(seed) ^ (uint64(job+1) * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+type timedFault struct {
+	sel selector
+	dur time.Duration
+}
+
+// Plan is a parsed fault plan. The zero value injects nothing.
+type Plan struct {
+	spec string
+
+	// killAfter > 0 kills each worker incarnation during its (killAfter+1)-th
+	// job: the worker completes killAfter jobs, then dies holding the next.
+	killAfter int
+
+	stalls []timedFault
+	delays []timedFault
+
+	// crashAppend > 0 crashes the coordinator after that many checkpoint
+	// appends, leaving crashTail behind.
+	crashAppend int
+	crashTail   TailFault
+}
+
+// Parse parses the fault-plan grammar. An empty spec returns a nil plan
+// (inject nothing).
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{spec: spec}
+	for _, dir := range strings.Split(spec, ";") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		kind, rest, found := strings.Cut(dir, "@")
+		if !found {
+			return nil, fmt.Errorf("faultinject: directive %q lacks '@'", dir)
+		}
+		switch kind {
+		case "kill":
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: kill@%s: want a job count ≥ 1", rest)
+			}
+			p.killAfter = n
+		case "stall", "delay":
+			selText, durText, found := strings.Cut(rest, "~")
+			if !found {
+				return nil, fmt.Errorf("faultinject: %s@%s: want %s@<job|p<prob>>~<duration>", kind, rest, kind)
+			}
+			sel, err := parseSelector(selText)
+			if err != nil {
+				return nil, err
+			}
+			dur, err := time.ParseDuration(strings.TrimSpace(durText))
+			if err != nil || dur <= 0 {
+				return nil, fmt.Errorf("faultinject: %s@%s: bad duration %q", kind, rest, durText)
+			}
+			tf := timedFault{sel: sel, dur: dur}
+			if kind == "stall" {
+				p.stalls = append(p.stalls, tf)
+			} else {
+				p.delays = append(p.delays, tf)
+			}
+		case "crash", "trunc", "corrupt":
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: %s@%s: want an append count ≥ 1", kind, rest)
+			}
+			if p.crashAppend != 0 {
+				return nil, fmt.Errorf("faultinject: multiple coordinator-crash directives")
+			}
+			p.crashAppend = n
+			switch kind {
+			case "crash":
+				p.crashTail = TailClean
+			case "trunc":
+				p.crashTail = TailTruncate
+			case "corrupt":
+				p.crashTail = TailCorrupt
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: unknown directive kind %q", kind)
+		}
+	}
+	return p, nil
+}
+
+func parseSelector(text string) (selector, error) {
+	text = strings.TrimSpace(text)
+	if rest, ok := strings.CutPrefix(text, "p"); ok {
+		prob, err := strconv.ParseFloat(rest, 64)
+		if err != nil || prob <= 0 || prob > 1 {
+			return selector{}, fmt.Errorf("faultinject: bad probability %q (want p0.1 style in (0,1])", text)
+		}
+		return selector{job: -1, prob: prob}, nil
+	}
+	job, err := strconv.Atoi(text)
+	if err != nil || job < 0 {
+		return selector{}, fmt.Errorf("faultinject: bad job selector %q", text)
+	}
+	return selector{job: job}, nil
+}
+
+// Spec returns the plan's source text (round-trippable through Parse), or ""
+// for a nil plan.
+func (p *Plan) Spec() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// Injector is a Plan bound to a seed: the deterministic fault schedule the
+// coordinator and workers consult. All methods are pure and nil-safe, so an
+// absent injector means "no faults" without branching at call sites.
+type Injector struct {
+	plan *Plan
+	seed int64
+}
+
+// New binds a plan to a seed. A nil plan yields a nil injector.
+func New(plan *Plan, seed int64) *Injector {
+	if plan == nil {
+		return nil
+	}
+	return &Injector{plan: plan, seed: seed}
+}
+
+// Spec returns the bound plan's source text ("" when nil).
+func (in *Injector) Spec() string {
+	if in == nil {
+		return ""
+	}
+	return in.plan.Spec()
+}
+
+// Seed returns the injector's seed (0 when nil).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// KillAfter returns how many jobs a worker incarnation completes before
+// dying mid-next-job, or 0 to never kill.
+func (in *Injector) KillAfter() int {
+	if in == nil {
+		return 0
+	}
+	return in.plan.killAfter
+}
+
+// StallFor returns how long the job's execution should stall before the
+// worker starts it, or 0. Fires only on attempt 0 — stalls model transient
+// hangs the coordinator's lease machinery must detect and route around.
+func (in *Injector) StallFor(job, attempt int) time.Duration {
+	return in.timed(job, attempt, false)
+}
+
+// DelayFor returns how long the worker should sit on the job's computed
+// result before delivering it, or 0. First attempt only, like StallFor.
+func (in *Injector) DelayFor(job, attempt int) time.Duration {
+	return in.timed(job, attempt, true)
+}
+
+func (in *Injector) timed(job, attempt int, delay bool) time.Duration {
+	if in == nil || attempt > 0 {
+		return 0
+	}
+	faults := in.plan.stalls
+	salt := int64(0x5354414C) // "STAL"
+	if delay {
+		faults = in.plan.delays
+		salt = 0x44454C59 // "DELY"
+	}
+	var total time.Duration
+	for _, f := range faults {
+		if f.sel.picks(job, in.seed^salt) {
+			total += f.dur
+		}
+	}
+	return total
+}
+
+// TailFaultAt reports whether the coordinator should crash after its n-th
+// checkpoint append (n counts from 1), and what to leave in the journal tail.
+func (in *Injector) TailFaultAt(n int) TailFault {
+	if in == nil || in.plan.crashAppend == 0 || n != in.plan.crashAppend {
+		return TailNone
+	}
+	return in.plan.crashTail
+}

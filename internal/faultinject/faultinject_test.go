@@ -1,0 +1,153 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	t.Parallel()
+	plan, err := Parse("kill@3; stall@7~150ms; delay@p0.25~20ms; trunc@5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in := New(plan, 42)
+	if got := in.KillAfter(); got != 3 {
+		t.Errorf("KillAfter = %d, want 3", got)
+	}
+	if got := in.StallFor(7, 0); got != 150*time.Millisecond {
+		t.Errorf("StallFor(7,0) = %v, want 150ms", got)
+	}
+	if got := in.StallFor(6, 0); got != 0 {
+		t.Errorf("StallFor(6,0) = %v, want 0", got)
+	}
+	if got := in.TailFaultAt(5); got != TailTruncate {
+		t.Errorf("TailFaultAt(5) = %v, want trunc", got)
+	}
+	for _, n := range []int{1, 4, 6, 100} {
+		if got := in.TailFaultAt(n); got != TailNone {
+			t.Errorf("TailFaultAt(%d) = %v, want none", n, got)
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	t.Parallel()
+	for _, spec := range []string{
+		"kill",            // no @
+		"kill@0",          // count below 1
+		"kill@x",          // not a number
+		"stall@5",         // no duration
+		"stall@5~banana",  // bad duration
+		"stall@5~-1s",     // non-positive duration
+		"stall@p1.5~1s",   // probability out of range
+		"stall@p0~1s",     // probability out of range
+		"stall@-2~1s",     // negative job index
+		"crash@2;trunc@4", // two coordinator crashes
+		"explode@3",       // unknown directive
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestParseEmptyIsNil(t *testing.T) {
+	t.Parallel()
+	plan, err := Parse("  ")
+	if err != nil || plan != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", plan, err)
+	}
+	if in := New(nil, 7); in != nil {
+		t.Fatalf("New(nil) = %v, want nil", in)
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	t.Parallel()
+	var in *Injector
+	if in.KillAfter() != 0 || in.StallFor(0, 0) != 0 || in.DelayFor(0, 0) != 0 ||
+		in.TailFaultAt(1) != TailNone || in.Spec() != "" || in.Seed() != 0 {
+		t.Fatal("nil injector injected something")
+	}
+}
+
+func TestTransientFaultsFirstAttemptOnly(t *testing.T) {
+	t.Parallel()
+	plan, err := Parse("stall@2~1s;delay@2~1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan, 1)
+	if in.StallFor(2, 0) == 0 || in.DelayFor(2, 0) == 0 {
+		t.Fatal("fault did not fire on attempt 0")
+	}
+	if in.StallFor(2, 1) != 0 || in.DelayFor(2, 1) != 0 {
+		t.Fatal("transient fault fired on a retry")
+	}
+}
+
+func TestProbabilisticSelectionDeterministic(t *testing.T) {
+	t.Parallel()
+	plan, err := Parse("stall@p0.3~10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := New(plan, 99), New(plan, 99)
+	hits := 0
+	for job := 0; job < 1000; job++ {
+		da, db := a.StallFor(job, 0), b.StallFor(job, 0)
+		if da != db {
+			t.Fatalf("job %d: same (plan, seed) disagreed: %v vs %v", job, da, db)
+		}
+		if da > 0 {
+			hits++
+		}
+	}
+	// 1000 Bernoulli(0.3) trials: anything far outside ~[230, 370] means the
+	// mixing is broken, not unlucky.
+	if hits < 200 || hits > 400 {
+		t.Errorf("p0.3 hit %d/1000 jobs", hits)
+	}
+	other := New(plan, 100)
+	diff := 0
+	for job := 0; job < 1000; job++ {
+		if (a.StallFor(job, 0) > 0) != (other.StallFor(job, 0) > 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds chose identical fault schedules")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	t.Parallel()
+	const spec = "kill@2;stall@p0.1~50ms"
+	plan, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spec() != spec {
+		t.Fatalf("Spec() = %q", plan.Spec())
+	}
+	again, err := Parse(plan.Spec())
+	if err != nil || again.killAfter != plan.killAfter || len(again.stalls) != len(plan.stalls) {
+		t.Fatalf("re-Parse(%q) drifted: %+v vs %+v (%v)", plan.Spec(), again, plan, err)
+	}
+}
+
+func TestTailFaultStrings(t *testing.T) {
+	t.Parallel()
+	for fault, want := range map[TailFault]string{
+		TailNone: "none", TailClean: "crash", TailTruncate: "trunc", TailCorrupt: "corrupt",
+	} {
+		if got := fault.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(fault), got, want)
+		}
+	}
+	if s := TailFault(42).String(); !strings.Contains(s, "42") {
+		t.Errorf("unknown fault prints %q", s)
+	}
+}
