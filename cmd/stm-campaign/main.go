@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/settimeliness/settimeliness/internal/adversary"
 	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/core"
 	"github.com/settimeliness/settimeliness/internal/experiments"
@@ -117,6 +118,8 @@ func dispatch(ctx context.Context, sub string, args []string, w io.Writer) (err 
 		return cmdRelations(ctx, args, w), true
 	case "adversarial":
 		return cmdAdversarial(ctx, args, w), true
+	case "byzantine":
+		return cmdByzantine(ctx, args, w), true
 	case "monitor":
 		return cmdMonitor(ctx, args, w), true
 	}
@@ -186,6 +189,7 @@ func usage() {
   stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
   stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
   stm-campaign adversarial -n N -runs R [-steps S] [-flight K]          parking adversary vs the Theorem 24 solver
+  stm-campaign byzantine -target T -n N [-crash LO:HI] [-byz LO:HI] [-strategies flip,stale,split] [-runs R] [-steps S] [-flight K]  Byzantine degradation matrix
   stm-campaign monitor   -n N -steps S [-every E] [-gen random|starver|mixed]  online timeliness-graph monitoring
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
 Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE,
@@ -261,7 +265,7 @@ func (c *common) resilience(ctx context.Context, name string, args []string, par
 	if c.resume && c.checkpoint == "" {
 		return nil, fmt.Errorf("-resume needs -checkpoint")
 	}
-	plan, err := faultinject.Parse(c.chaos)
+	plan, err := faultinject.Cached(c.chaos)
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +280,7 @@ func (c *common) resilience(ctx context.Context, name string, args []string, par
 		Procs:      c.procs,
 		Lease:      c.lease,
 		Retries:    c.retries,
-		Chaos:      faultinject.New(plan, c.seed),
+		Chaos:      plan.Injector(c.seed),
 		Log: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "stm-campaign: "+format+"\n", a...)
 		},
@@ -773,6 +777,126 @@ func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if err := emit(w, c, "adversarial", params, rep); err != nil {
 		return err
+	}
+	return checkDegraded(rep)
+}
+
+// cmdByzantine sweeps the Byzantine degradation grid: (crash count × byz
+// count × corruption strategy) cells against one workload, each cell
+// classified safe/degraded/violated over its runs. Violated cells are data
+// — the sweep exits 0 when it completes — and the matrix is invariant under
+// -workers and -procs.
+func cmdByzantine(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("byzantine", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	target := fs.String("target", explore.TargetConsensus, "workload: commitadopt|consensus|cachain|kset|bg|antiomega")
+	n := fs.Int("n", 3, "number of processes")
+	crashRange := fs.String("crash", "0:1", "crash counts swept (value or lo:hi range)")
+	byzRange := fs.String("byz", "0:1", "Byzantine counts swept (value or lo:hi range)")
+	strategies := fs.String("strategies", "flip,stale,split", "comma-separated corruption strategies for byz ≥ 1 cells")
+	runs := fs.Int("runs", 32, "runs per cell (each draws its own fault population)")
+	steps := fs.Int("steps", 100_000, "step horizon per run")
+	flightK := fs.Int("flight", 0, "per-runner flight recorder depth, attached to violation reports (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	crashLo, crashHi, err := parseRange(*crashRange)
+	if err != nil {
+		return err
+	}
+	byzLo, byzHi, err := parseRange(*byzRange)
+	if err != nil {
+		return err
+	}
+	if crashLo != 0 || byzLo != 0 {
+		return fmt.Errorf("byzantine: crash and byz ranges must start at 0 (the honest baseline anchors the matrix), got %s and %s", *crashRange, *byzRange)
+	}
+	var strats []adversary.Strategy
+	for _, s := range strings.Split(*strategies, ",") {
+		st, err := adversary.ParseStrategy(s)
+		if err != nil {
+			return err
+		}
+		if st == adversary.StrategyNone {
+			return fmt.Errorf("byzantine: strategy \"none\" is implicit in the byz=0 cells; sweep real strategies")
+		}
+		strats = append(strats, st)
+	}
+	params := map[string]any{
+		"target": *target, "n": *n, "crash": crashHi, "byz": byzHi,
+		"strategies": *strategies, "runs": *runs, "steps": *steps,
+	}
+	ctx, err = c.resilience(ctx, "byzantine", args, params)
+	if err != nil {
+		return err
+	}
+	ctx, cleanup, err := c.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	if *flightK > 0 {
+		ctx = obs.WithFlight(ctx, *flightK)
+	}
+	sink, closeSink, err := c.sink(ctx)
+	if err != nil {
+		return err
+	}
+	rep, cells, err := explore.ByzantineCampaign(ctx, explore.ByzConfig{
+		Target:     *target,
+		N:          *n,
+		CrashMax:   crashHi,
+		ByzMax:     byzHi,
+		Strategies: strats,
+		Runs:       *runs,
+		Steps:      *steps,
+		Seed:       c.seed,
+		Workers:    c.workers,
+	}, sink)
+	if cerr := closeSink(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if c.jsonOut {
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(struct {
+			record
+			Cells []explore.ByzCell `json:"cells"`
+		}{record{
+			Campaign:  "byzantine",
+			Params:    params,
+			Seed:      c.seed,
+			Workers:   rep.Workers,
+			ElapsedNS: int64(rep.Elapsed),
+			Summary:   rep.Summary,
+		}, cells}); err != nil {
+			return err
+		}
+	} else {
+		tb := trace.NewTable(
+			fmt.Sprintf("Byzantine degradation matrix: %s, n=%d, %d runs/cell", *target, *n, *runs),
+			"crash", "byz", "strategy", "safe", "degraded", "violated", "class")
+		for _, cell := range cells {
+			tb.AddRow(cell.Crash, cell.Byz, cell.Strategy, cell.Safe, cell.Degraded, cell.Violated, cell.Class)
+		}
+		fmt.Fprintln(w, tb.Render())
+		for _, cell := range cells {
+			if cell.Violation != nil {
+				fmt.Fprintf(w, "cell c%d b%d %s first violation: %v\n", cell.Crash, cell.Byz, cell.Strategy, cell.Violation.Err)
+				if cell.Violation.Trace != "" {
+					fmt.Fprintln(w, cell.Violation.Trace)
+				}
+				if cell.Violation.Flight != "" {
+					fmt.Fprint(w, cell.Violation.Flight)
+				}
+			}
+		}
+		if err := emit(w, c, "byzantine", params, rep); err != nil {
+			return err
+		}
 	}
 	return checkDegraded(rep)
 }

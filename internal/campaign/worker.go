@@ -93,13 +93,13 @@ func workerChaosFromEnv() *faultinject.Injector {
 	if spec == "" {
 		return nil
 	}
-	plan, err := faultinject.Parse(spec)
+	plan, err := faultinject.Cached(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign worker: ignoring bad chaos plan %q: %v\n", spec, err)
 		return nil
 	}
 	seed, _ := strconv.ParseInt(os.Getenv(EnvChaosSeed), 10, 64)
-	return faultinject.New(plan, seed)
+	return plan.Injector(seed)
 }
 
 // serveWorker is the worker side of the protocol: run the requested jobs

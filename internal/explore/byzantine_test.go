@@ -1,0 +1,163 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/adversary"
+	"github.com/settimeliness/settimeliness/internal/obs"
+)
+
+// renderCells canonicalizes a matrix (including violation content) for
+// bit-identical comparison across worker counts.
+func renderCells(t *testing.T, cells []ByzCell) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "c%d b%d %s: safe=%d degraded=%d violated=%d class=%s",
+			c.Crash, c.Byz, c.Strategy, c.Safe, c.Degraded, c.Violated, c.Class)
+		if c.Violation != nil {
+			data, err := json.Marshal(c.Violation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(data)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestByzantineWorkerInvariance is the sweep-level half of satellite 3: the
+// degradation matrix — verdict counts, classes, and the reported violation
+// details — is bit-identical at workers 1 and 8. The grid includes the
+// byz = 0 column, whose cells run the installed-but-inert mutator, so the
+// invariance also covers the inert path end to end.
+func TestByzantineWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) string {
+		ctx := obs.WithFlight(context.Background(), 64)
+		cfg := ByzConfig{
+			Target:   TargetConsensus,
+			N:        3,
+			CrashMax: 1,
+			ByzMax:   1,
+			Runs:     10,
+			Steps:    20_000,
+			Seed:     42,
+			Workers:  workers,
+		}
+		rep, cells, err := ByzantineCampaign(ctx, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failures) > 0 {
+			t.Fatalf("campaign reported %d failures; violated cells must stay green", len(rep.Failures))
+		}
+		return renderCells(t, cells)
+	}
+	one := run(1)
+	eight := run(8)
+	if one != eight {
+		t.Errorf("matrix differs across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s", one, eight)
+	}
+}
+
+// TestByzantineMutantDetection pins the no-false-green property AND the
+// safe-to-violated budget flip in one matrix: on the consensus workload at
+// n = 3, the fault-free cell must classify safe while the byz = 1 flip cell
+// must classify violated (a corrupted decision escaping into honest
+// adoption), carrying its corrupting-write trace and flight tail.
+func TestByzantineMutantDetection(t *testing.T) {
+	t.Parallel()
+	ctx := obs.WithFlight(context.Background(), 64)
+	cfg := ByzConfig{
+		Target:     TargetConsensus,
+		N:          3,
+		CrashMax:   0,
+		ByzMax:     1,
+		Strategies: []adversary.Strategy{adversary.StrategyFlip},
+		Runs:       20,
+		Steps:      20_000,
+		Seed:       1,
+		Workers:    2,
+	}
+	_, cells, err := ByzantineCampaign(ctx, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, flip *ByzCell
+	for i := range cells {
+		switch {
+		case cells[i].Byz == 0:
+			base = &cells[i]
+		case cells[i].Strategy == "flip":
+			flip = &cells[i]
+		}
+	}
+	if base == nil || flip == nil {
+		t.Fatalf("matrix missing expected cells: %+v", cells)
+	}
+	if base.Class != "safe" || base.Violated != 0 {
+		t.Errorf("fault-free cell classified %q (violated=%d), want safe", base.Class, base.Violated)
+	}
+	if flip.Class != "violated" || flip.Violated == 0 {
+		t.Fatalf("byz=1 flip cell classified %q (violated=%d); a known-unsafe budget was not flagged — false green",
+			flip.Class, flip.Violated)
+	}
+	v := flip.Violation
+	if v == nil {
+		t.Fatal("violated cell carries no violation detail")
+	}
+	if !strings.Contains(v.Err.Error(), "non-proposal") {
+		t.Errorf("violation error lacks the honest-side check message: %v", v.Err)
+	}
+	if !strings.Contains(v.Trace, "flip") || !strings.Contains(v.Trace, "->") {
+		t.Errorf("violation lacks the corrupting-write trace:\n%s", v.Trace)
+	}
+	if v.Flight == "" || !strings.Contains(v.Flight, "[byzantine]") {
+		t.Errorf("violation lacks a fault-annotated flight tail:\n%s", v.Flight)
+	}
+}
+
+// TestByzantineViolationJSONRoundTrip: the new Trace field survives the
+// checkpoint/worker wire format.
+func TestByzantineViolationJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	v := &Violation{
+		Err:    fmt.Errorf("boom"),
+		Flight: "flight tail",
+		Trace:  "corrupting writes (flip): 1 mutation(s)",
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Violation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err.Error() != "boom" || back.Flight != v.Flight || back.Trace != v.Trace {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+// TestByzantineConfigErrors: malformed sweeps fail before any worker runs.
+func TestByzantineConfigErrors(t *testing.T) {
+	t.Parallel()
+	bad := []ByzConfig{
+		{Target: TargetConsensus, N: 1, Runs: 1, Steps: 1},
+		{Target: TargetConsensus, N: 3, Runs: 0, Steps: 1},
+		{Target: TargetConsensus, N: 3, Runs: 1, Steps: 0},
+		{Target: "nope", N: 3, Runs: 1, Steps: 1},
+		{Target: TargetConsensus, N: 3, Runs: 1, Steps: 1, CrashMax: -1},
+	}
+	for i, cfg := range bad {
+		if _, _, err := ByzantineCampaign(context.Background(), cfg, nil); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -74,6 +74,10 @@ type Violation struct {
 	// steps with process, op kind, and register resolved. Directed runs have
 	// no replayable Schedule, so this is their failure context.
 	Flight string
+	// Trace, when non-empty, is the corrupting-write trace of a Byzantine
+	// run: which writes were mutated, by whom, into what (see
+	// adversary.Byzantine.FormatTrace).
+	Trace string
 }
 
 func (v *Violation) Error() string {
@@ -95,7 +99,8 @@ func (v *Violation) MarshalJSON() ([]byte, error) {
 		Schedule string `json:"schedule"`
 		Err      string `json:"err"`
 		Flight   string `json:"flight,omitempty"`
-	}{v.scheduleText(), v.Err.Error(), v.Flight})
+		Trace    string `json:"trace,omitempty"`
+	}{v.scheduleText(), v.Err.Error(), v.Flight, v.Trace})
 }
 
 // UnmarshalJSON rebuilds a violation from its emitted form, so a violation
@@ -107,11 +112,12 @@ func (v *Violation) UnmarshalJSON(data []byte) error {
 		Schedule string `json:"schedule"`
 		Err      string `json:"err"`
 		Flight   string `json:"flight,omitempty"`
+		Trace    string `json:"trace,omitempty"`
 	}
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
-	*v = Violation{Err: errors.New(w.Err), Flight: w.Flight, scheduleStr: w.Schedule}
+	*v = Violation{Err: errors.New(w.Err), Flight: w.Flight, Trace: w.Trace, scheduleStr: w.Schedule}
 	return nil
 }
 

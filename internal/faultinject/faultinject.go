@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -46,8 +47,13 @@ func (wallClock) Now() time.Time                         { return time.Now() }
 func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
 func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }
 
+// wall is the process-wide real-time clock. A single value (rather than a
+// fresh one per Wall call) keeps clock identity comparable, so callers that
+// stash "the clock I was configured with" can test for the default.
+var wall Clock = wallClock{}
+
 // Wall returns the real-time clock.
-func Wall() Clock { return wallClock{} }
+func Wall() Clock { return wall }
 
 // TailFault says what a coordinator crash directive leaves behind in the
 // checkpoint journal.
@@ -213,6 +219,42 @@ func (p *Plan) Spec() string {
 		return ""
 	}
 	return p.spec
+}
+
+// cache memoizes Cached: plans are immutable after Parse, so one parse per
+// distinct spec serves every campaign, worker incarnation, and retry in the
+// process. Specs are short CLI/env strings, so the cache stays tiny.
+var cache sync.Map // spec string -> cached
+
+type cached struct {
+	plan *Plan
+	err  error
+}
+
+// Cached is Parse with process-wide memoization: repeated bindings of the
+// same spec (one per campaign job or worker incarnation) parse once and
+// share the immutable plan. Parse errors are memoized too — a bad spec
+// stays bad.
+func Cached(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	if c, ok := cache.Load(spec); ok {
+		e := c.(cached)
+		return e.plan, e.err
+	}
+	plan, err := Parse(spec)
+	c, _ := cache.LoadOrStore(spec, cached{plan, err})
+	e := c.(cached)
+	return e.plan, e.err
+}
+
+// Injector binds the plan to a seed — the per-job/per-campaign step, cheap
+// enough to do for every binding once the parse is amortized via Cached.
+// Equivalent to New(p, seed); nil plans yield nil injectors.
+func (p *Plan) Injector(seed int64) *Injector {
+	return New(p, seed)
 }
 
 // Injector is a Plan bound to a seed: the deterministic fault schedule the

@@ -151,3 +151,59 @@ func TestTailFaultStrings(t *testing.T) {
 		t.Errorf("unknown fault prints %q", s)
 	}
 }
+
+// TestCachedParsesOnce: Cached returns the same immutable *Plan for
+// repeated bindings of one spec, memoizes errors, and still treats empty
+// specs as nil plans.
+func TestCachedParsesOnce(t *testing.T) {
+	t.Parallel()
+	const spec = "kill@3;delay@1~20ms"
+	p1, err := Cached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Cached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Cached re-parsed: distinct *Plan for the same spec")
+	}
+	if p, err := Cached("  "); p != nil || err != nil {
+		t.Errorf("blank spec: (%v, %v), want (nil, nil)", p, err)
+	}
+	if _, err := Cached("kill@zero"); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err2 := Cached("kill@zero"); err2 == nil {
+		t.Error("memoized bad spec accepted")
+	}
+}
+
+// TestPlanInjectorMatchesNew: the per-job binding step is New without the
+// re-parse, including nil-plan behavior.
+func TestPlanInjectorMatchesNew(t *testing.T) {
+	t.Parallel()
+	plan, err := Parse("stall@p0.5~10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plan.Injector(7), New(plan, 7)
+	for job := 0; job < 32; job++ {
+		if a.StallFor(job, 0) != b.StallFor(job, 0) {
+			t.Fatalf("job %d: Injector and New disagree", job)
+		}
+	}
+	var nilPlan *Plan
+	if in := nilPlan.Injector(7); in != nil {
+		t.Error("nil plan yielded a non-nil injector")
+	}
+}
+
+// TestWallSingleton: Wall returns one process-wide clock value.
+func TestWallSingleton(t *testing.T) {
+	t.Parallel()
+	if Wall() != Wall() {
+		t.Error("Wall() identity drifts between calls")
+	}
+}

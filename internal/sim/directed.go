@@ -34,6 +34,38 @@ type Director interface {
 	OnWrite(slot RegID, proc procset.ID, value any)
 }
 
+// WriteMutator is the pre-write interception hook of the Byzantine fault
+// plane: a director that also implements it is consulted before each write
+// lands and may replace the value stored in the register. MutateWrite
+// receives the register's dense slot, the writer, the register's current
+// (pre-write) content old, and the value the automaton asked to write; it
+// returns the value that actually lands. Returning value unchanged makes
+// the write honest. The writer's automaton is never told — it proceeds
+// believing its own value landed, which is exactly the corrupting-writer
+// model (flipped bits, equivocation, replayed stale values).
+//
+// Contract: OnWrite still fires after the write with the value that landed
+// (the mutated one), so schedule-reactive state sees shared-memory reality.
+// Mutating directors run only on the machine-mode directed fast path and
+// require a runner built with Config.NoRecycle — a replayed old (or an
+// honest value retained for later injection) outlives the overwrite that
+// would normally retire it, which breaks the arena recycler's reuse
+// horizon; RunDirected panics on violations of either requirement rather
+// than silently dropping mutations. Mutated values must respect the
+// invariants the algorithms' readers check at runtime (e.g. int-typed
+// registers stay int-typed); a mutation that breaks a reader's type
+// assertion panics the run, which the campaign engine isolates and reports.
+type WriteMutator interface {
+	MutateWrite(slot RegID, proc procset.ID, old, value any) any
+}
+
+// DirectorRW is a director with the pre-write interception hook — the
+// interface Byzantine adversaries implement.
+type DirectorRW interface {
+	Director
+	WriteMutator
+}
+
 // RunDirected drives the runner with steps chosen by the director until the
 // stop predicate returns true (checked every checkEvery steps; 0 means every
 // step) or maxSteps have been executed — Run's contract with the schedule
@@ -45,11 +77,24 @@ func (r *Runner) RunDirected(d Director, maxSteps, checkEvery int, stop func() b
 	if checkEvery <= 0 {
 		checkEvery = 1
 	}
+	mut, mutating := d.(WriteMutator)
 	if r.machine == nil || r.observer != nil {
+		if mutating {
+			// Mutation exists only on the machine fast path: the generic loop
+			// would execute writes before the director could intercept them,
+			// and silently-honest "Byzantine" runs are a false-green hazard.
+			panic("sim: WriteMutator directors require a machine-mode runner without an observer")
+		}
 		return r.runDirectedGeneric(d, maxSteps, checkEvery, stop)
 	}
 	if r.closed {
 		panic("sim: Step after Close")
+	}
+	if mutating {
+		if r.mem.recycleOK {
+			panic("sim: WriteMutator directors require Config.NoRecycle (replayed/retained values outlive the recycler's reuse horizon)")
+		}
+		return r.runDirectedRW(d, mut, maxSteps, checkEvery, stop)
 	}
 	executed := 0
 	for executed < maxSteps {
@@ -98,6 +143,102 @@ func (r *Runner) stepDirected(d Director) {
 	isWrite := pr.nextKind == OpWrite
 	if isWrite {
 		wrote = pr.nextValue
+		mem.values[id] = wrote
+		mem.writeSeqs[id]++
+		mem.lastWriter[id] = p
+	} else {
+		prev = mem.values[id]
+	}
+	if pm := pr.ptrMachine; pm != nil {
+		op := pm.NextOp(prev)
+		if op == nil {
+			pr.isHalted = true
+		} else {
+			if op.Kind != OpRead && op.Kind != OpWrite {
+				panic(badOpKind(op.Kind))
+			}
+			rr := op.reg
+			if rr == nil {
+				rr = mustRegister(op.Reg)
+			}
+			pr.nextKind, pr.nextReg = op.Kind, rr
+			pr.nextRegID = rr.id
+			if op.Kind == OpWrite {
+				pr.nextValue = op.Value
+			}
+		}
+	} else if op, ok := pr.machine.Next(prev); !ok {
+		pr.isHalted = true
+	} else {
+		if op.Kind != OpRead && op.Kind != OpWrite {
+			panic(badOpKind(op.Kind))
+		}
+		rr := op.reg
+		if rr == nil {
+			rr = mustRegister(op.Reg)
+		}
+		pr.nextKind, pr.nextReg = op.Kind, rr
+		pr.nextRegID = rr.id
+		if op.Kind == OpWrite {
+			pr.nextValue = op.Value
+		}
+	}
+	if isWrite {
+		d.OnWrite(id, p, wrote)
+	}
+}
+
+// runDirectedRW is RunDirected's chunked loop for mutating directors: the
+// same stop/checkEvery hoisting, stepping through stepDirectedRW. It is a
+// separate loop (rather than a branch inside stepDirected) so the honest
+// directed path keeps its instruction stream — and its 0 allocs/op
+// steady state — bit-identical to before the fault plane existed.
+func (r *Runner) runDirectedRW(d Director, mut WriteMutator, maxSteps, checkEvery int, stop func() bool) RunResult {
+	executed := 0
+	for executed < maxSteps {
+		chunk := maxSteps - executed
+		if stop != nil && chunk > checkEvery {
+			chunk = checkEvery
+		}
+		for end := executed + chunk; executed < end; executed++ {
+			r.stepDirectedRW(d, mut)
+		}
+		if stop != nil && executed%checkEvery == 0 && stop() {
+			return RunResult{Steps: executed, Stopped: true}
+		}
+	}
+	return RunResult{Steps: maxSteps, Stopped: false}
+}
+
+// stepDirectedRW is stepDirected with the pre-write interception: the
+// mutator sees (slot, writer, current content, intended value) and decides
+// what lands; everything else — machine advance, bookkeeping, the post-write
+// OnWrite callback — is identical, so an inert mutator (one that always
+// returns value) replays the honest path bit for bit.
+func (r *Runner) stepDirectedRW(d Director, mut WriteMutator) {
+	p := d.Next()
+	pr := r.procAt(p)
+	r.steps++
+	if pr.isHalted {
+		r.recordStep(r.steps-1, p, OpNoop, -1)
+		return
+	}
+	if !pr.started {
+		pr.started = true
+		r.advanceMachine(pr, nil)
+		if pr.isHalted {
+			r.recordStep(r.steps-1, p, OpNoop, -1)
+			return
+		}
+	}
+	id := pr.nextRegID
+	pr.stepCount++
+	r.recordStep(r.steps-1, p, pr.nextKind, id)
+	var prev, wrote any
+	mem := r.mem
+	isWrite := pr.nextKind == OpWrite
+	if isWrite {
+		wrote = mut.MutateWrite(id, p, mem.values[id], pr.nextValue)
 		mem.values[id] = wrote
 		mem.writeSeqs[id]++
 		mem.lastWriter[id] = p

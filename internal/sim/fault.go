@@ -1,0 +1,61 @@
+// Per-process fault-class tagging: who, in the current run, is honest,
+// crashed, or Byzantine. The tag is pure introspection — it changes no
+// scheduling or memory decision and costs nothing on the stepping paths
+// (a byte on the proc struct, copied into StepInfo by the generic Step
+// path only). Directors that crash or corrupt processes set it so that
+// StepInfo streams, flight-recorder dumps, and violation traces show who
+// was faulty; Reset clears every process back to honest.
+
+package sim
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// FaultClass classifies a process's fault status for the current run.
+// The zero value is FaultHonest, so untagged runners (and the StepInfo
+// streams of all pre-existing paths) read as fully honest.
+type FaultClass uint8
+
+// Fault classes.
+const (
+	// FaultHonest: the process follows its automaton and its writes land
+	// unmodified.
+	FaultHonest FaultClass = iota
+	// FaultCrashed: the schedule stops containing the process (the paper's
+	// crash model); the tag records the director's intent.
+	FaultCrashed
+	// FaultByzantine: the process is scheduled, but a WriteMutator may
+	// replace the values its writes land in shared registers.
+	FaultByzantine
+)
+
+// String returns a short name for the class.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultHonest:
+		return "honest"
+	case FaultCrashed:
+		return "crashed"
+	case FaultByzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("FaultClass(%d)", int(c))
+	}
+}
+
+// SetFaultClass tags process p with a fault class for the current run.
+// Introspection only: the simulator itself never consults the tag. It is
+// cleared to FaultHonest by Reset, so directors that tag must re-tag per
+// run (after the reset, before stepping).
+func (r *Runner) SetFaultClass(p procset.ID, c FaultClass) {
+	r.procAt(p).fault = c
+}
+
+// FaultClass returns the fault class process p was tagged with (FaultHonest
+// unless a director said otherwise).
+func (r *Runner) FaultClass(p procset.ID) FaultClass {
+	return r.procAt(p).fault
+}

@@ -82,16 +82,24 @@ func (f *FlightRecorder) Records() []FlightRec {
 func (f *FlightRecorder) Reset() { f.pos, f.len = 0, 0 }
 
 // Dump writes the retained steps oldest-first, one line per step, resolving
-// register names through the runner the recorder was attached to.
+// register names through the runner the recorder was attached to. Processes
+// carrying a non-honest fault class (Runner.SetFaultClass) are annotated
+// per line — the class is resolved at dump time from the runner's current
+// tags, so recording stays a fixed-size store and fault-free dumps are
+// byte-identical to before the tagging existed.
 func (f *FlightRecorder) Dump(w io.Writer, r *Runner) {
 	recs := f.Records()
 	fmt.Fprintf(w, "flight recorder: last %d step(s)\n", len(recs))
 	for _, rec := range recs {
+		tag := ""
+		if fc := r.FaultClass(rec.Proc); fc != FaultHonest {
+			tag = " [" + fc.String() + "]"
+		}
 		switch rec.Kind {
 		case OpNoop:
-			fmt.Fprintf(w, "  #%d %v noop (halted)\n", rec.Index, rec.Proc)
+			fmt.Fprintf(w, "  #%d %v noop (halted)%s\n", rec.Index, rec.Proc, tag)
 		default:
-			fmt.Fprintf(w, "  #%d %v %v %s\n", rec.Index, rec.Proc, rec.Kind, r.RegName(rec.Reg))
+			fmt.Fprintf(w, "  #%d %v %v %s%s\n", rec.Index, rec.Proc, rec.Kind, r.RegName(rec.Reg), tag)
 		}
 	}
 }

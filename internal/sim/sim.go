@@ -118,6 +118,10 @@ type StepInfo struct {
 	Reg string
 	// Value is the value read or written.
 	Value any
+	// Fault is the fault class the process was tagged with (see
+	// Runner.SetFaultClass); FaultHonest on untagged runners, so streams
+	// from fault-free runs are unchanged by the field's existence.
+	Fault FaultClass
 }
 
 type opRequest struct {
@@ -360,6 +364,10 @@ type proc struct {
 	id        procset.ID
 	isHalted  bool
 	stepCount int
+	// fault is the introspection tag of fault.go: set by directors that
+	// crash or corrupt the process, cleared by Reset, consulted by nothing
+	// on the stepping paths.
+	fault FaultClass
 
 	// Coroutine mode.
 	req    chan opRequest
@@ -469,6 +477,14 @@ type Config struct {
 	// Observer, if non-nil, is invoked synchronously after every executed
 	// step, including no-op steps of halted processes.
 	Observer func(StepInfo)
+	// NoRecycle disables value recycling even on observer-free machine
+	// runners. A WriteMutator director (see directed.go) may replay a
+	// register's previous value or retain an honest value as a future
+	// corruption payload — both extend a written value's life beyond the
+	// arena reuse horizon, exactly the hazard observers pose — so
+	// mutator-equipped rigs must set it (RunDirected enforces this).
+	// Honest rigs leave it false and keep the 0 allocs/op write path.
+	NoRecycle bool
 }
 
 // NewRunner builds a runner ready for stepping. In coroutine mode it starts
@@ -497,7 +513,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	// tests do), so observed runners stay on the allocate-per-write path.
 	// Coroutine runners do too — the reference implementations are kept
 	// allocation-exact.
-	r.mem.recycleOK = cfg.Machine != nil && cfg.Observer == nil
+	r.mem.recycleOK = cfg.Machine != nil && cfg.Observer == nil && !cfg.NoRecycle
 	for i := 0; i < cfg.N; i++ {
 		p := &proc{id: procset.ID(i + 1)}
 		r.procs[i] = p
@@ -606,7 +622,7 @@ func (r *Runner) Step(p procset.ID) StepInfo {
 		panic("sim: Step after Close")
 	}
 	pr := r.procAt(p)
-	info := StepInfo{Index: r.steps, Proc: p}
+	info := StepInfo{Index: r.steps, Proc: p, Fault: pr.fault}
 	r.steps++
 	if r.machine != nil {
 		r.stepMachine(pr, &info)
@@ -715,6 +731,7 @@ func (r *Runner) Reset() error {
 	for _, p := range r.procs {
 		p.isHalted = false
 		p.stepCount = 0
+		p.fault = FaultHonest
 		p.pending = nil
 		p.machine = nil
 		p.ptrMachine = nil
