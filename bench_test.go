@@ -7,6 +7,7 @@
 package settimeliness_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -74,10 +75,9 @@ func BenchmarkDetectorConvergence(b *testing.B) {
 		b.Run(fmt.Sprintf("n%dk%dt%d", size.n, size.k, size.t), func(b *testing.B) {
 			totalSteps := 0
 			for i := 0; i < b.N; i++ {
-				res, err := stm.RunDetector(stm.DetectorConfig{
-					N: size.n, K: size.k, T: size.t,
-					Seed: int64(i),
-				})
+				res, err := stm.RunDetector(context.Background(),
+					stm.WithDetector(size.n, size.k, size.t),
+					stm.WithSeed(int64(i)))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -99,10 +99,9 @@ func BenchmarkAgreementLatency(b *testing.B) {
 		b.Run(fmt.Sprintf("n%dk%dt%d", size.n, size.k, size.t), func(b *testing.B) {
 			totalSteps := 0
 			for i := 0; i < b.N; i++ {
-				res, err := stm.Solve(stm.SolveConfig{
-					Problem: stm.NewProblem(size.t, size.k, size.n),
-					Seed:    int64(i),
-				})
+				res, err := stm.Solve(context.Background(),
+					stm.WithProblem(stm.NewProblem(size.t, size.k, size.n)),
+					stm.WithSeed(int64(i)))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -171,12 +170,12 @@ func BenchmarkBoundSweep(b *testing.B) {
 		b.Run(fmt.Sprintf("bound%d", bound), func(b *testing.B) {
 			totalSteps := 0
 			for i := 0; i < b.N; i++ {
-				res, err := stm.RunDetector(stm.DetectorConfig{
+				res, err := stm.RunDetector(context.Background(), stm.WithDetectorConfig(stm.DetectorConfig{
 					N: 4, K: 2, T: 2,
 					TimelinessBound: bound,
 					Seed:            int64(i),
 					MaxSteps:        8_000_000,
-				})
+				}))
 				if err != nil {
 					b.Fatal(err)
 				}

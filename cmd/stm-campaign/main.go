@@ -120,6 +120,8 @@ func dispatch(ctx context.Context, sub string, args []string, w io.Writer) (err 
 		return cmdAdversarial(ctx, args, w), true
 	case "byzantine":
 		return cmdByzantine(ctx, args, w), true
+	case "netconv":
+		return cmdNetConv(ctx, args, w), true
 	case "monitor":
 		return cmdMonitor(ctx, args, w), true
 	}
@@ -188,12 +190,14 @@ func usage() {
   stm-campaign exhaustive -target T -n N -depth D [-reduce=false]      every schedule up to depth D (partial-order reduced by default)
   stm-campaign converge  -n N -k K -t T -trials R                       detector-convergence sweep
   stm-campaign relations -n N -schedules S [-gen random|starver|mixed]  timeliness-relation extraction
-  stm-campaign adversarial -n N -runs R [-steps S] [-flight K]          parking adversary vs the Theorem 24 solver
-  stm-campaign byzantine -target T -n N [-crash LO:HI] [-byz LO:HI] [-strategies flip,stale,split] [-runs R] [-steps S] [-flight K]  Byzantine degradation matrix
+  stm-campaign adversarial -n N -runs R [-steps S]                      parking adversary vs the Theorem 24 solver
+  stm-campaign byzantine -target T -n N [-crash LO:HI] [-byz LO:HI] [-strategies flip,stale,split] [-runs R] [-steps S]  Byzantine degradation matrix
+  stm-campaign netconv   -n N [-matrices sync,psync,async,mixed] [-runs R] [-steps S] [-delta D] [-gst G] [-probe P]  detector convergence over graded link matrices
   stm-campaign monitor   -n N -steps S [-every E] [-gen random|starver|mixed]  online timeliness-graph monitoring
 T, K, N accept single values ("2") or inclusive ranges ("1:3").
 Common flags: -workers W (0 = GOMAXPROCS), -seed S, -json, -jsonl FILE,
--progress N (heartbeat to stderr every N jobs), -pprof ADDR (pprof+expvar).
+-progress N (heartbeat to stderr every N jobs), -pprof ADDR (pprof+expvar),
+-flight K (flight-recorder depth on campaigns with pooled runners).
 Resilience flags (campaign subcommands; routes through the fault-tolerant
 coordinator — the aggregate stays bit-identical to a plain run):
   -checkpoint FILE   journal completed jobs; interrupted runs leave a usable checkpoint
@@ -222,6 +226,7 @@ type common struct {
 	jsonlOut  string
 	progress  int
 	pprofAddr string
+	flight    int
 
 	// Resilience flags (fault-tolerant coordinator).
 	checkpoint string
@@ -239,6 +244,7 @@ func (c *common) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.jsonlOut, "jsonl", "", "stream one JSON record per job to this file")
 	fs.IntVar(&c.progress, "progress", 0, "emit a JSONL heartbeat to stderr every N completed jobs (0 = off)")
 	fs.StringVar(&c.pprofAddr, "pprof", "", "serve pprof and expvar debug endpoints on this address (e.g. localhost:6060)")
+	fs.IntVar(&c.flight, "flight", 0, "per-runner flight recorder depth, dumped on violation or panic (0 = off; honored by campaigns with pooled runners)")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "journal completed jobs to this file; interrupted runs resume from it")
 	fs.BoolVar(&c.resume, "resume", false, "resume from the -checkpoint journal, skipping completed jobs (aggregate stays bit-identical)")
 	fs.IntVar(&c.procs, "procs", 0, "dispatch jobs to this many child worker processes instead of in-process goroutines")
@@ -247,20 +253,80 @@ func (c *common) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.retries, "retries", 0, "re-leases per job before quarantine (0 = 3, negative = none)")
 }
 
+// session bundles the context ceremony every subcommand used to repeat:
+// begin applies coordinator resilience, instrumentation, and the
+// flight-recorder knob in the canonical order; openSink opens the -jsonl
+// stream (call it after validating inputs, so a bad invocation never leaves
+// a stream file behind); finish folds the sink's close error into the
+// campaign's; close stops instrumentation.
+type session struct {
+	ctx       context.Context
+	c         *common
+	cleanup   func()
+	sink      func(campaign.Outcome)
+	closeSink func() error
+}
+
+// begin starts a session for the named subcommand: it folds every common
+// context knob into one campaign.Options and applies it with a single
+// campaign.WithOptions call. name, args, and params feed the resilience
+// layer's checkpoint identity and worker respawn.
+func (c *common) begin(ctx context.Context, name string, args []string, params map[string]any) (*session, error) {
+	o := campaign.Options{Flight: c.flight}
+	cleanup := func() {}
+	// Resilience and instrumentation belong to the coordinating parent; a
+	// worker process (serve knob already installed) only carries the
+	// flight-recorder request.
+	if !campaign.ServingWorker(ctx) {
+		res, err := c.resilienceOptions(name, args, params)
+		if err != nil {
+			return nil, err
+		}
+		o.Resilience = res
+		if cleanup, err = c.instrument(&o); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	ctx = campaign.WithOptions(ctx, o)
+	return &session{ctx: ctx, c: c, cleanup: cleanup, closeSink: func() error { return nil }}, nil
+}
+
+// openSink opens the -jsonl stream and arms finish with its close error.
+func (s *session) openSink() error {
+	sink, closeSink, err := s.c.sink(s.ctx)
+	if err != nil {
+		return err
+	}
+	s.sink, s.closeSink = sink, closeSink
+	return nil
+}
+
+// finish closes the sink, folding its error into err when err is nil.
+func (s *session) finish(err error) error {
+	if cerr := s.closeSink(); err == nil {
+		err = cerr
+	}
+	s.closeSink = func() error { return nil }
+	return err
+}
+
+// close stops instrumentation (deferred by every caller).
+func (s *session) close() { s.cleanup() }
+
 // resilienceRequested reports whether any coordinator flag was set.
 func (c *common) resilienceRequested() bool {
 	return c.checkpoint != "" || c.resume || c.procs != 0 || c.chaos != "" || c.lease != 0 || c.retries != 0
 }
 
-// resilience installs the fault-tolerant coordinator knob when any of its
-// flags are set. name and args are the subcommand and its raw argument list:
-// name + canonical params identify the campaign in the checkpoint header, and
-// the same argv respawned under EnvWorker is how child processes rebuild the
-// identical job list. In a worker process this is a no-op — the serve knob is
-// already installed and resilience belongs to the coordinating parent.
-func (c *common) resilience(ctx context.Context, name string, args []string, params map[string]any) (context.Context, error) {
-	if campaign.ServingWorker(ctx) || !c.resilienceRequested() {
-		return ctx, nil
+// resilienceOptions builds the fault-tolerant coordinator config when any
+// of its flags are set (nil otherwise). name and args are the subcommand and
+// its raw argument list: name + canonical params identify the campaign in
+// the checkpoint header, and the same argv respawned under EnvWorker is how
+// child processes rebuild the identical job list.
+func (c *common) resilienceOptions(name string, args []string, params map[string]any) (*campaign.Resilience, error) {
+	if !c.resilienceRequested() {
+		return nil, nil
 	}
 	if c.resume && c.checkpoint == "" {
 		return nil, fmt.Errorf("-resume needs -checkpoint")
@@ -292,20 +358,14 @@ func (c *common) resilience(ctx context.Context, name string, args []string, par
 		}
 		res.WorkerArgv = append([]string{exe, name}, args...)
 	}
-	return campaign.WithResilience(ctx, res), nil
+	return res, nil
 }
 
-// instrument applies the observability flags: -progress installs a campaign
-// heartbeat streaming JSONL to stderr, and -pprof starts the debug HTTP
-// server (pprof + expvar), publishing the latest heartbeat as the
-// "campaign" expvar. The returned context carries the heartbeat knob; the
-// cleanup function stops the debug server.
-func (c *common) instrument(ctx context.Context) (context.Context, func(), error) {
-	if campaign.ServingWorker(ctx) {
-		// Worker processes inherit the parent's flags but must not start a
-		// second debug server or double-report heartbeats.
-		return ctx, func() {}, nil
-	}
+// instrument applies the observability flags onto o: -progress installs a
+// campaign heartbeat streaming JSONL to stderr, and -pprof starts the debug
+// HTTP server (pprof + expvar), publishing the latest heartbeat as the
+// "campaign" expvar. The cleanup function stops the debug server.
+func (c *common) instrument(o *campaign.Options) (func(), error) {
 	var last atomic.Pointer[campaign.Heartbeat]
 	every := c.progress
 	if every <= 0 && c.pprofAddr != "" {
@@ -314,12 +374,13 @@ func (c *common) instrument(ctx context.Context) (context.Context, func(), error
 	}
 	if every > 0 {
 		enc := json.NewEncoder(os.Stderr)
-		ctx = campaign.WithHeartbeat(ctx, every, func(hb campaign.Heartbeat) {
+		o.HeartbeatEvery = every
+		o.Heartbeat = func(hb campaign.Heartbeat) {
 			last.Store(&hb)
 			if c.progress > 0 {
 				_ = enc.Encode(hb) // best-effort telemetry: a broken stderr must not kill the run
 			}
-		})
+		}
 	}
 	cleanup := func() {}
 	if c.pprofAddr != "" {
@@ -332,12 +393,12 @@ func (c *common) instrument(ctx context.Context) (context.Context, func(), error
 		})
 		ds, err := obs.ServeDebug(c.pprofAddr)
 		if err != nil {
-			return ctx, cleanup, err
+			return cleanup, err
 		}
 		fmt.Fprintf(os.Stderr, "stm-campaign: debug endpoints on http://%s/debug/\n", ds.Addr())
 		cleanup = func() { ds.Close() }
 	}
-	return ctx, cleanup, nil
+	return cleanup, nil
 }
 
 // sink opens the -jsonl stream; the returned close function also surfaces
@@ -459,24 +520,16 @@ func cmdMatrix(ctx context.Context, args []string, w io.Writer) error {
 		"posbudget": *posBudget, "negbudget": *negBudget,
 		"problems": len(problems),
 	}
-	ctx, err = c.resilience(ctx, "matrix", args, params)
+	s, err := c.begin(ctx, "matrix", args, params)
 	if err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
+	defer s.close()
+	if err := s.openSink(); err != nil {
 		return err
 	}
-	defer cleanup()
-	sink, closeSink, err := c.sink(ctx)
-	if err != nil {
-		return err
-	}
-	cells, rep, err := experiments.MatrixSweep(ctx, problems, c.seed, *posBudget, *negBudget, c.workers, sink)
-	if cerr := closeSink(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	cells, rep, err := experiments.MatrixSweep(s.ctx, problems, c.seed, *posBudget, *negBudget, c.workers, s.sink)
+	if err = s.finish(err); err != nil {
 		return err
 	}
 	if !c.jsonOut {
@@ -531,15 +584,11 @@ func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ctx, err = c.resilience(ctx, "fuzz", args, fuzzParams(*target, *n, *steps, *schedules))
+	s, err := c.begin(ctx, "fuzz", args, fuzzParams(*target, *n, *steps, *schedules))
 	if err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
-		return err
-	}
-	defer cleanup()
+	defer s.close()
 	// Resolve the engine and target before opening the -jsonl sink so
 	// invalid invocations don't create (and leak) the stream file.
 	var fuzz func(onResult func(campaign.Outcome)) (*campaign.Report, int, error)
@@ -550,7 +599,7 @@ func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		fuzz = func(onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
-			return explore.FuzzPooledCampaign(ctx, c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
+			return explore.FuzzPooledCampaign(s.ctx, c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
 		}
 	case "fresh":
 		build, err := explore.TargetBuilder(*target, *n)
@@ -558,20 +607,16 @@ func cmdFuzz(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		fuzz = func(onResult func(campaign.Outcome)) (*campaign.Report, int, error) {
-			return explore.FuzzCampaign(ctx, c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
+			return explore.FuzzCampaign(s.ctx, c.workers, *n, *steps, *schedules, c.seed, patterns, build, onResult)
 		}
 	default:
 		return fmt.Errorf("unknown -engine %q (want pooled or fresh)", *engine)
 	}
-	sink, closeSink, err := c.sink(ctx)
-	if err != nil {
+	if err := s.openSink(); err != nil {
 		return err
 	}
-	rep, runs, err := fuzz(sink)
-	if cerr := closeSink(); err == nil && cerr != nil {
-		err = cerr
-	}
-	if err != nil {
+	rep, runs, err := fuzz(s.sink)
+	if err = s.finish(err); err != nil {
 		var v *explore.Violation
 		if rep != nil && errors.As(err, &v) {
 			// Keep stdout parseable in -json mode: the human-readable
@@ -611,33 +656,25 @@ func cmdExhaustive(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
-		return err
-	}
-	defer cleanup()
-	build, err := explore.PooledTargetBuilder(*target, *n)
-	if err != nil {
-		return err
-	}
 	params := map[string]any{"target": *target, "n": *n, "depth": *depth, "reduce": *reduce}
 	if *reduce && c.resilienceRequested() {
 		return fmt.Errorf("the reduced exhaustive sweep is a single sequential explorer; checkpoint/chaos flags need the campaign engine (-reduce=false)")
 	}
+	s, err := c.begin(ctx, "exhaustive", args, params)
+	if err != nil {
+		return err
+	}
+	defer s.close()
+	build, err := explore.PooledTargetBuilder(*target, *n)
+	if err != nil {
+		return err
+	}
 	if !*reduce {
-		ctx, err = c.resilience(ctx, "exhaustive", args, params)
-		if err != nil {
+		if err := s.openSink(); err != nil {
 			return err
 		}
-		sink, closeSink, err := c.sink(ctx)
-		if err != nil {
-			return err
-		}
-		rep, runs, err := explore.ExhaustivePooledCampaign(ctx, c.workers, *n, *depth, build, sink)
-		if cerr := closeSink(); err == nil && cerr != nil {
-			err = cerr
-		}
-		if err != nil {
+		rep, runs, err := explore.ExhaustivePooledCampaign(s.ctx, c.workers, *n, *depth, build, s.sink)
+		if err = s.finish(err); err != nil {
 			var v *explore.Violation
 			if rep != nil && errors.As(err, &v) {
 				dst := w
@@ -736,32 +773,20 @@ func cmdAdversarial(ctx context.Context, args []string, w io.Writer) error {
 	n := fs.Int("n", 4, "number of processes (solver runs at k = t = n/2)")
 	steps := fs.Int("steps", 100_000, "step horizon per run")
 	runs := fs.Int("runs", 32, "number of runs (cycles through the crash-pattern population)")
-	flightK := fs.Int("flight", 0, "per-runner flight recorder depth, dumped on violation or panic (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	params := map[string]any{"n": *n, "steps": *steps, "runs": *runs}
-	ctx, err := c.resilience(ctx, "adversarial", args, params)
+	s, err := c.begin(ctx, "adversarial", args, params)
 	if err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
+	defer s.close()
+	if err := s.openSink(); err != nil {
 		return err
 	}
-	defer cleanup()
-	if *flightK > 0 {
-		ctx = obs.WithFlight(ctx, *flightK)
-	}
-	sink, closeSink, err := c.sink(ctx)
-	if err != nil {
-		return err
-	}
-	rep, executed, err := explore.AdversarialPooledCampaign(ctx, c.workers, *n, *steps, *runs, c.seed, sink)
-	if cerr := closeSink(); err == nil && cerr != nil {
-		err = cerr
-	}
-	if err != nil {
+	rep, executed, err := explore.AdversarialPooledCampaign(s.ctx, c.workers, *n, *steps, *runs, c.seed, s.sink)
+	if err = s.finish(err); err != nil {
 		if rep != nil {
 			dst := w
 			if c.jsonOut {
@@ -797,7 +822,6 @@ func cmdByzantine(ctx context.Context, args []string, w io.Writer) error {
 	strategies := fs.String("strategies", "flip,stale,split", "comma-separated corruption strategies for byz ≥ 1 cells")
 	runs := fs.Int("runs", 32, "runs per cell (each draws its own fault population)")
 	steps := fs.Int("steps", 100_000, "step horizon per run")
-	flightK := fs.Int("flight", 0, "per-runner flight recorder depth, attached to violation reports (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -827,23 +851,15 @@ func cmdByzantine(ctx context.Context, args []string, w io.Writer) error {
 		"target": *target, "n": *n, "crash": crashHi, "byz": byzHi,
 		"strategies": *strategies, "runs": *runs, "steps": *steps,
 	}
-	ctx, err = c.resilience(ctx, "byzantine", args, params)
+	s, err := c.begin(ctx, "byzantine", args, params)
 	if err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
+	defer s.close()
+	if err := s.openSink(); err != nil {
 		return err
 	}
-	defer cleanup()
-	if *flightK > 0 {
-		ctx = obs.WithFlight(ctx, *flightK)
-	}
-	sink, closeSink, err := c.sink(ctx)
-	if err != nil {
-		return err
-	}
-	rep, cells, err := explore.ByzantineCampaign(ctx, explore.ByzConfig{
+	rep, cells, err := explore.ByzantineCampaign(s.ctx, explore.ByzConfig{
 		Target:     *target,
 		N:          *n,
 		CrashMax:   crashHi,
@@ -853,11 +869,8 @@ func cmdByzantine(ctx context.Context, args []string, w io.Writer) error {
 		Steps:      *steps,
 		Seed:       c.seed,
 		Workers:    c.workers,
-	}, sink)
-	if cerr := closeSink(); err == nil && cerr != nil {
-		err = cerr
-	}
-	if err != nil {
+	}, s.sink)
+	if err = s.finish(err); err != nil {
 		return err
 	}
 	if c.jsonOut {
@@ -901,6 +914,95 @@ func cmdByzantine(ctx context.Context, args []string, w io.Writer) error {
 	return checkDegraded(rep)
 }
 
+// cmdNetConv sweeps detector convergence over graded link matrices: for
+// each named msgnet matrix, many (schedule, delay) samples of the heartbeat
+// Ω detector, tallying convergence, elected leaders, and the per-link
+// grades an online obs.LinkMonitor extracted from the deliveries. The whole
+// matrix is invariant under -workers and -procs.
+func cmdNetConv(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("netconv", flag.ExitOnError)
+	var c common
+	c.register(fs)
+	n := fs.Int("n", 4, "number of processes (the mixed matrix needs ≥ 3)")
+	matrices := fs.String("matrices", "", "comma-separated link matrices to sweep: sync,psync,async,mixed (empty = all)")
+	delta := fs.Int("delta", 2, "timely grades' delivery bound Δ")
+	gst := fs.Int("gst", 0, "partial-synchrony stabilization step (0 = steps/4)")
+	probe := fs.Int("probe", 0, "link monitor probe bound (0 = Δ + 3n(n−1), absorbing scheduling dilation)")
+	wild := fs.Int("wild", 0, "unbounded-regime delivery bound (0 = msgnet default)")
+	runs := fs.Int("runs", 32, "samples per matrix")
+	steps := fs.Int("steps", 20_000, "step horizon per run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var names []string
+	for _, m := range strings.Split(*matrices, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			names = append(names, m)
+		}
+	}
+	params := map[string]any{
+		"n": *n, "matrices": strings.Join(names, ","), "delta": *delta, "gst": *gst,
+		"probe": *probe, "wild": *wild, "runs": *runs, "steps": *steps,
+	}
+	s, err := c.begin(ctx, "netconv", args, params)
+	if err != nil {
+		return err
+	}
+	defer s.close()
+	if err := s.openSink(); err != nil {
+		return err
+	}
+	rep, cells, err := explore.NetConvCampaign(s.ctx, explore.NetConvConfig{
+		Matrices: names,
+		N:        *n,
+		Delta:    *delta,
+		GST:      *gst,
+		Probe:    *probe,
+		Wild:     *wild,
+		Runs:     *runs,
+		Steps:    *steps,
+		Seed:     c.seed,
+		Workers:  c.workers,
+	}, s.sink)
+	if err = s.finish(err); err != nil {
+		return err
+	}
+	if c.jsonOut {
+		return json.NewEncoder(w).Encode(struct {
+			record
+			Cells []explore.NetCell `json:"cells"`
+		}{record{
+			Campaign:  "netconv",
+			Params:    params,
+			Seed:      c.seed,
+			Workers:   rep.Workers,
+			ElapsedNS: int64(rep.Elapsed),
+			Summary:   rep.Summary,
+		}, cells})
+	}
+	tb := trace.NewTable(
+		fmt.Sprintf("detector convergence over graded link matrices: n=%d, %d runs/matrix", *n, *runs),
+		"matrix", "runs", "converged", "split", "top leader", "top grades")
+	for _, cell := range cells {
+		leader, grades := "-", "-"
+		if len(cell.Leaders) > 0 {
+			leader = fmt.Sprintf("%s ×%d", cell.Leaders[0].Leader, cell.Leaders[0].Count)
+		}
+		if len(cell.Grades) > 0 {
+			grades = fmt.Sprintf("%s ×%d", cell.Grades[0].Grades, cell.Grades[0].Count)
+		}
+		tb.AddRow(cell.Matrix, cell.Runs, cell.Converged, cell.Split, leader, grades)
+	}
+	fmt.Fprintln(w, tb.Render())
+	for _, cell := range cells {
+		fmt.Fprintf(w, "%s sample: %s\n", cell.Matrix, cell.Sample)
+	}
+	if err := emit(w, c, "netconv", params, rep); err != nil {
+		return err
+	}
+	return checkDegraded(rep)
+}
+
 func cmdConverge(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("converge", flag.ExitOnError)
 	var c common
@@ -915,26 +1017,18 @@ func cmdConverge(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	params := map[string]any{"n": *n, "k": *k, "t": *t, "bound": *bound, "trials": *trials}
-	ctx, err := c.resilience(ctx, "converge", args, params)
+	s, err := c.begin(ctx, "converge", args, params)
 	if err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
+	defer s.close()
+	if err := s.openSink(); err != nil {
 		return err
 	}
-	defer cleanup()
-	sink, closeSink, err := c.sink(ctx)
-	if err != nil {
-		return err
-	}
-	rep, err := experiments.RunConvergenceSweep(ctx, experiments.ConvergenceConfig{
+	rep, err := experiments.RunConvergenceSweep(s.ctx, experiments.ConvergenceConfig{
 		N: *n, K: *k, T: *t, Bound: *bound, Trials: *trials, MaxSteps: *maxSteps, Workers: c.workers,
-	}, c.seed, sink)
-	if cerr := closeSink(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	}, c.seed, s.sink)
+	if err = s.finish(err); err != nil {
 		return err
 	}
 	if err := emit(w, c, "converge", params, rep); err != nil {
@@ -959,26 +1053,18 @@ func cmdRelations(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	params := map[string]any{"n": *n, "bound": *bound, "steps": *steps, "schedules": *schedules, "gen": *gen}
-	ctx, err := c.resilience(ctx, "relations", args, params)
+	s, err := c.begin(ctx, "relations", args, params)
 	if err != nil {
 		return err
 	}
-	ctx, cleanup, err := c.instrument(ctx)
-	if err != nil {
+	defer s.close()
+	if err := s.openSink(); err != nil {
 		return err
 	}
-	defer cleanup()
-	sink, closeSink, err := c.sink(ctx)
-	if err != nil {
-		return err
-	}
-	rep, err := experiments.RunRelationsCampaign(ctx, experiments.RelationsConfig{
+	rep, err := experiments.RunRelationsCampaign(s.ctx, experiments.RelationsConfig{
 		N: *n, Bound: *bound, Steps: *steps, Schedules: *schedules, Generator: *gen, Workers: c.workers,
-	}, c.seed, sink)
-	if cerr := closeSink(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	}, c.seed, s.sink)
+	if err = s.finish(err); err != nil {
 		return err
 	}
 	if !c.jsonOut {
@@ -1089,11 +1175,13 @@ func cmdMonitor(ctx context.Context, args []string, w io.Writer) error {
 	if *steps < 1 {
 		return fmt.Errorf("-steps must be positive")
 	}
-	ctx, cleanup, err := c.instrument(ctx)
+	s, err := c.begin(ctx, "monitor", args,
+		map[string]any{"n": *n, "gen": *gen, "steps": *steps, "every": *every, "bound": *bound, "window": *window})
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	defer s.close()
+	ctx = s.ctx
 	src, err := monitorSource(*gen, *n, c.seed)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,7 @@ func run(t, k, n, i, j int, seed int64, steps int, crashSpec string) error {
 	}
 	fmt.Printf("problem: %v   system: %v   seed: %d\n", cfg.Problem, cfg.System, seed)
 
-	res, err := stm.Solve(cfg)
+	res, err := stm.Solve(context.Background(), stm.WithSolveConfig(cfg))
 	if err != nil {
 		return err
 	}

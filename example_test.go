@@ -1,6 +1,7 @@
 package settimeliness_test
 
 import (
+	"context"
 	"fmt"
 
 	stm "github.com/settimeliness/settimeliness"
@@ -47,11 +48,10 @@ func ExampleMinBound() {
 // detector composed with k leader-based consensus instances — on a
 // simulated shared memory and verifies the run.
 func ExampleSolve() {
-	res, err := stm.Solve(stm.SolveConfig{
-		Problem:   stm.NewProblem(1, 1, 3), // consensus, one crash tolerated
-		Proposals: map[stm.ProcID]any{1: "x", 2: "x", 3: "x"},
-		Seed:      1,
-	})
+	res, err := stm.Solve(context.Background(),
+		stm.WithProblem(stm.NewProblem(1, 1, 3)), // consensus, one crash tolerated
+		stm.WithProposals(map[stm.ProcID]any{1: "x", 2: "x", 3: "x"}),
+		stm.WithSeed(1))
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,22 +44,20 @@ func main() {
 	}
 
 	fmt.Printf("\nsolving in the boundary cell %v...\n", stm.Sij(2, 4, 5))
-	res, err := stm.Solve(stm.SolveConfig{
-		Problem: stm.NewProblem(t, k, n),
-		System:  stm.Sij(2, 4, 5),
-		Crashes: map[stm.ProcID]int{4: 30, 5: 0},
-		Seed:    2,
-	})
+	res, err := stm.Solve(context.Background(),
+		stm.WithProblem(stm.NewProblem(t, k, n)),
+		stm.WithSystem(stm.Sij(2, 4, 5)),
+		stm.WithCrashes(map[stm.ProcID]int{4: 30, 5: 0}),
+		stm.WithSeed(2))
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}
 	fmt.Printf("decided: %v values across %v in %d steps\n", res.Distinct, res.Correct, res.Steps)
 
 	fmt.Printf("\nasking for the cell just past the frontier, %v:\n", stm.Sij(2, 3, 5))
-	if _, err := stm.Solve(stm.SolveConfig{
-		Problem: stm.NewProblem(t, k, n),
-		System:  stm.Sij(2, 3, 5),
-	}); err != nil {
+	if _, err := stm.Solve(context.Background(),
+		stm.WithProblem(stm.NewProblem(t, k, n)),
+		stm.WithSystem(stm.Sij(2, 3, 5))); err != nil {
 		fmt.Printf("rejected as expected: %v\n", err)
 	} else {
 		log.Fatal("unsolvable cell was accepted")

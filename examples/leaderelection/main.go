@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,23 +19,35 @@ func main() {
 	// process timely with respect to one other process.
 	fmt.Printf("matching system for consensus (t=1, n=5): %v\n\n", stm.MatchingSystem(1, 1, 5))
 
-	det, err := stm.RunDetector(stm.DetectorConfig{
-		N: 5, K: 1, T: 1,
-		Crashes: map[stm.ProcID]int{2: 60},
-		Seed:    4,
-	})
+	det, err := stm.RunDetector(context.Background(),
+		stm.WithDetector(5, 1, 1),
+		stm.WithCrashes(map[stm.ProcID]int{2: 60}),
+		stm.WithSeed(4))
 	if err != nil {
 		log.Fatalf("detector: %v", err)
 	}
 	fmt.Printf("Ω stabilized: leader %v elected after %d steps (witness %v from step %d)\n",
 		det.Winnerset, det.Steps, det.Witness, det.StableFrom)
 
-	res, err := stm.Solve(stm.SolveConfig{
-		Problem:   stm.NewProblem(1, 1, 5),
-		Proposals: map[stm.ProcID]any{1: "red", 2: "green", 3: "blue", 4: "yellow", 5: "cyan"},
-		Crashes:   map[stm.ProcID]int{2: 60},
-		Seed:      4,
-	})
+	// The same question on the message plane: the heartbeat Ω detector over
+	// a mixed-grade link matrix (three grades, one link changing grade
+	// mid-run) instead of the register-plane Figure 2 construction.
+	netdet, err := stm.RunDetector(context.Background(),
+		stm.WithDetector(5, 1, 1),
+		stm.WithSeed(4),
+		stm.WithMaxSteps(200_000),
+		stm.Network(stm.NetworkConfig{Matrix: "mixed"}))
+	if err != nil {
+		log.Fatalf("network detector: %v", err)
+	}
+	fmt.Printf("heartbeat Ω on the mixed matrix: stable=%v leader %v after %d steps\n",
+		netdet.Stable, netdet.Winnerset, netdet.Steps)
+
+	res, err := stm.Solve(context.Background(),
+		stm.WithProblem(stm.NewProblem(1, 1, 5)),
+		stm.WithProposals(map[stm.ProcID]any{1: "red", 2: "green", 3: "blue", 4: "yellow", 5: "cyan"}),
+		stm.WithCrashes(map[stm.ProcID]int{2: 60}),
+		stm.WithSeed(4))
 	if err != nil {
 		log.Fatalf("consensus: %v", err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +18,10 @@ func main() {
 	fmt.Printf("matching:  %v (Theorem 24: weakest system of the family that solves it)\n",
 		stm.MatchingSystem(2, 2, 6))
 
-	res, err := stm.Solve(stm.SolveConfig{
-		Problem: problem,
-		Crashes: map[stm.ProcID]int{5: 40, 6: 0}, // p5 crashes after 40 steps, p6 never runs
-		Seed:    1,
-	})
+	res, err := stm.Solve(context.Background(),
+		stm.WithProblem(problem),
+		stm.WithCrashes(map[stm.ProcID]int{5: 40, 6: 0}), // p5 crashes after 40 steps, p6 never runs
+		stm.WithSeed(1))
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

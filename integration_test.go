@@ -1,6 +1,7 @@
 package settimeliness
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -33,12 +34,12 @@ func TestFrontierSweepIntegration(t *testing.T) {
 				i, j := i, j
 				t.Run(fmt.Sprintf("%v_in_S%d_%d", p, i, j), func(t *testing.T) {
 					t.Parallel()
-					res, err := Solve(SolveConfig{
+					res, err := Solve(context.Background(), WithSolveConfig(SolveConfig{
 						Problem: p,
 						System:  Sij(i, j, p.N),
 						Crashes: map[ProcID]int{ProcID(p.N): 30},
 						Seed:    int64(i*10 + j),
-					})
+					}))
 					if err != nil {
 						t.Fatalf("Solve: %v", err)
 					}

@@ -1,0 +1,41 @@
+// The unified knob surface: every context-travelling campaign option —
+// coordinator resilience, progress heartbeats, and the flight-recorder
+// request honored by pooled-runner campaigns — collapses into one Options
+// struct applied by a single WithOptions call. The individual constructors
+// (WithResilience, WithHeartbeat, obs.WithFlight) remain as the underlying
+// primitives, but adapters and CLIs should build one Options value and
+// apply it once.
+
+package campaign
+
+import (
+	"context"
+
+	"github.com/settimeliness/settimeliness/internal/obs"
+)
+
+// Options bundles the context-travelling campaign knobs. The zero value is
+// a no-op: every field leaves the context untouched when unset.
+type Options struct {
+	// Resilience routes Run through the fault-tolerant coordinator
+	// (checkpointed, lease-based dispatch); nil keeps the plain in-process
+	// pool path.
+	Resilience *Resilience
+	// Heartbeat, when non-nil and HeartbeatEvery ≥ 1, receives a progress
+	// snapshot after every HeartbeatEvery folded jobs, in job-index order,
+	// on the fold goroutine.
+	HeartbeatEvery int
+	Heartbeat      func(Heartbeat)
+	// Flight > 0 requests per-runner flight recording with a ring of Flight
+	// steps; campaigns with pooled runners read it via obs.FlightK.
+	Flight int
+}
+
+// WithOptions applies every configured knob of o to ctx in one call — the
+// replacement for chaining WithResilience, WithHeartbeat, and
+// obs.WithFlight by hand.
+func WithOptions(ctx context.Context, o Options) context.Context {
+	ctx = WithResilience(ctx, o.Resilience)
+	ctx = WithHeartbeat(ctx, o.HeartbeatEvery, o.Heartbeat)
+	return obs.WithFlight(ctx, o.Flight)
+}

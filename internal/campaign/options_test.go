@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/obs"
+)
+
+// TestWithOptionsInstallsEveryKnob pins that one WithOptions call is
+// equivalent to the deprecated constructor chain: each configured field is
+// readable through the same accessors the engine uses.
+func TestWithOptionsInstallsEveryKnob(t *testing.T) {
+	res := &Resilience{Checkpoint: "ck.jsonl"}
+	fired := 0
+	ctx := WithOptions(context.Background(), Options{
+		Resilience:     res,
+		HeartbeatEvery: 3,
+		Heartbeat:      func(Heartbeat) { fired++ },
+		Flight:         64,
+	})
+	if got := resilienceFrom(ctx); got != res {
+		t.Errorf("resilience knob = %v, want %v", got, res)
+	}
+	hb := heartbeatFrom(ctx)
+	if hb.every != 3 || hb.fn == nil {
+		t.Errorf("heartbeat knob = %+v", hb)
+	}
+	hb.fn(Heartbeat{})
+	if fired != 1 {
+		t.Error("heartbeat fn did not route through")
+	}
+	if got := obs.FlightK(ctx); got != 64 {
+		t.Errorf("flight knob = %d, want 64", got)
+	}
+}
+
+// TestWithOptionsZeroValueIsNoop pins that a zero Options leaves the
+// context untouched.
+func TestWithOptionsZeroValueIsNoop(t *testing.T) {
+	ctx := context.Background()
+	if got := WithOptions(ctx, Options{}); got != ctx {
+		t.Error("zero Options changed the context")
+	}
+}

@@ -74,6 +74,8 @@ type resilienceKey struct{}
 
 // WithResilience returns a context that routes campaign.Run through the
 // fault-tolerant coordinator. A nil config returns ctx unchanged.
+//
+// Deprecated: build an Options value and apply it with WithOptions.
 func WithResilience(ctx context.Context, r *Resilience) context.Context {
 	if r == nil {
 		return ctx

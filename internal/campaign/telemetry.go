@@ -60,6 +60,8 @@ type heartbeatCfg struct {
 // every `every` folded jobs (every ≥ 1; fn non-nil — otherwise ctx is
 // returned unchanged). fn runs on the fold goroutine, so it may write to
 // shared sinks without locking but must return quickly.
+//
+// Deprecated: build an Options value and apply it with WithOptions.
 func WithHeartbeat(ctx context.Context, every int, fn func(Heartbeat)) context.Context {
 	if every < 1 || fn == nil {
 		return ctx

@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"github.com/settimeliness/settimeliness/internal/obs"
+	"github.com/settimeliness/settimeliness/internal/campaign"
 )
 
 // Attaching flight recorders must not change what a campaign computes: the
@@ -17,7 +17,7 @@ func TestAdversarialCampaignUnchangedByFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recorded, _, err := AdversarialPooledCampaign(obs.WithFlight(context.Background(), 64), 2, n, steps, runs, seed, nil)
+	recorded, _, err := AdversarialPooledCampaign(campaign.WithOptions(context.Background(), campaign.Options{Flight: 64}), 2, n, steps, runs, seed, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,7 @@ import (
 	"testing"
 
 	"github.com/settimeliness/settimeliness/internal/adversary"
-	"github.com/settimeliness/settimeliness/internal/obs"
+	"github.com/settimeliness/settimeliness/internal/campaign"
 )
 
 // renderCells canonicalizes a matrix (including violation content) for
@@ -39,7 +39,7 @@ func renderCells(t *testing.T, cells []ByzCell) string {
 func TestByzantineWorkerInvariance(t *testing.T) {
 	t.Parallel()
 	run := func(workers int) string {
-		ctx := obs.WithFlight(context.Background(), 64)
+		ctx := campaign.WithOptions(context.Background(), campaign.Options{Flight: 64})
 		cfg := ByzConfig{
 			Target:   TargetConsensus,
 			N:        3,
@@ -73,7 +73,7 @@ func TestByzantineWorkerInvariance(t *testing.T) {
 // adoption), carrying its corrupting-write trace and flight tail.
 func TestByzantineMutantDetection(t *testing.T) {
 	t.Parallel()
-	ctx := obs.WithFlight(context.Background(), 64)
+	ctx := campaign.WithOptions(context.Background(), campaign.Options{Flight: 64})
 	cfg := ByzConfig{
 		Target:     TargetConsensus,
 		N:          3,

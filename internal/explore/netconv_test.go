@@ -1,0 +1,107 @@
+package explore
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/settimeliness/settimeliness/internal/msgnet"
+)
+
+// netConvConfig is the sweep shape the tests share: all four matrices
+// (including mixed, whose 1→3 link changes grade mid-run) over a handful of
+// samples each.
+func netConvConfig(workers int) NetConvConfig {
+	return NetConvConfig{
+		N:       4,
+		Runs:    4,
+		Steps:   12_000,
+		Seed:    1234,
+		Workers: workers,
+	}
+}
+
+// TestNetConvCampaignConverges checks the physics: the sync matrix always
+// elects p1, and every cell's runs are accounted for.
+func TestNetConvCampaignConverges(t *testing.T) {
+	cfg := netConvConfig(0)
+	rep, cells, err := NetConvCampaign(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Failed != 0 {
+		t.Fatalf("campaign reported %d failed jobs", rep.Summary.Failed)
+	}
+	if len(cells) != len(msgnet.MatrixNames()) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(msgnet.MatrixNames()))
+	}
+	byName := map[string]NetCell{}
+	for _, c := range cells {
+		if c.Runs != cfg.Runs {
+			t.Fatalf("cell %q accounts for %d runs, want %d", c.Matrix, c.Runs, cfg.Runs)
+		}
+		if c.Sample == "" {
+			t.Fatalf("cell %q has no sample grade string", c.Matrix)
+		}
+		byName[c.Matrix] = c
+	}
+	sync := byName[msgnet.MatrixSync]
+	if sync.Converged != cfg.Runs {
+		t.Fatalf("sync matrix converged %d/%d: %+v", sync.Converged, cfg.Runs, sync)
+	}
+	if len(sync.Leaders) != 1 || sync.Leaders[0].Leader != "p1" {
+		t.Fatalf("sync matrix leaders = %+v, want all p1", sync.Leaders)
+	}
+	// The all-sync matrix must never be graded async or idle anywhere —
+	// psync is allowed (a random schedule's polling tail can stretch an
+	// individual delivery past any fixed probe bound, but timeliness always
+	// resumes).
+	for _, g := range sync.Grades {
+		if strings.Contains(g.Grades, ":async") || strings.Contains(g.Grades, ":idle") {
+			t.Fatalf("sync matrix graded async/idle: %+v", g)
+		}
+	}
+	for _, c := range []NetCell{byName[msgnet.MatrixMixed], byName[msgnet.MatrixPartialSync]} {
+		if c.Converged == 0 {
+			t.Fatalf("%s matrix never converged within the horizon: %+v", c.Matrix, c)
+		}
+	}
+}
+
+// TestNetConvCampaignWorkerInvariant is the acceptance criterion: the same
+// seed yields bit-identical per-link grade output — cells, tallies, samples,
+// everything — at workers 1 vs 8.
+func TestNetConvCampaignWorkerInvariant(t *testing.T) {
+	rep1, cells1, err := NetConvCampaign(context.Background(), netConvConfig(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, cells8, err := NetConvCampaign(context.Background(), netConvConfig(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells1, cells8) {
+		t.Fatalf("cells differ between workers 1 and 8:\n1: %+v\n8: %+v", cells1, cells8)
+	}
+	if !reflect.DeepEqual(rep1.Summary.Tallies, rep8.Summary.Tallies) {
+		t.Fatalf("summary tallies differ between workers 1 and 8:\n1: %v\n8: %v",
+			rep1.Summary.Tallies, rep8.Summary.Tallies)
+	}
+}
+
+// TestNetConvCampaignValidation pins the sweep's input checking.
+func TestNetConvCampaignValidation(t *testing.T) {
+	bad := []NetConvConfig{
+		{N: 1, Runs: 1, Steps: 100},
+		{N: 4, Runs: 0, Steps: 100},
+		{N: 4, Runs: 1, Steps: 0},
+		{N: 4, Runs: 1, Steps: 100, Matrices: []string{"nope"}},
+		{N: 2, Runs: 1, Steps: 100, Matrices: []string{msgnet.MatrixMixed}},
+	}
+	for _, cfg := range bad {
+		if _, _, err := NetConvCampaign(context.Background(), cfg, nil); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}

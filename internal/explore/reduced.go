@@ -127,12 +127,21 @@ func (e *reducedExplorer) replay() error {
 
 // commutes reports whether the pending operations of two distinct processes
 // commute: executing them in either order from the current state yields the
-// same state. A halted process's step is a no-op; otherwise two operations
-// conflict exactly when they touch the same register and at least one
-// writes.
+// same state. A halted process's step is a no-op; otherwise two register
+// operations conflict exactly when they touch the same register and at
+// least one writes. Message operations (send/recv) are treated
+// conservatively: any two of them conflict — sends share the network's
+// delay-draw stream and sequence counter, and a send can make a message
+// deliverable to a pending recv — while a message operation and a register
+// operation always commute (they touch disjoint state).
 func commutes(ak sim.OpKind, ar sim.RegID, bk sim.OpKind, br sim.RegID) bool {
 	if ak == sim.OpNoop || bk == sim.OpNoop {
 		return true
+	}
+	aNet := ak == sim.OpSend || ak == sim.OpRecv
+	bNet := bk == sim.OpSend || bk == sim.OpRecv
+	if aNet || bNet {
+		return aNet != bNet
 	}
 	if ar != br {
 		return true

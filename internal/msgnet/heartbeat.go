@@ -1,0 +1,243 @@
+// The first paper construction ported to the message plane: an Ω-style
+// eventual-leader detector from heartbeats with adaptive timeouts — the
+// message-passing sibling of internal/antiomega's register-plane detector,
+// and the natural probe for mixed-grade networks. Each process alternates
+// broadcast rounds (one send per peer) with a receive window, counts its own
+// steps of silence per peer, and suspects a peer whose silence exceeds that
+// peer's timeout; hearing from a suspected peer rehabilitates it and bumps
+// its timeout (the classic adaptive rule, so finitely many false suspicions
+// per eventually-timely link). The leader output is the smallest
+// unsuspected process.
+//
+// On a network whose links from some correct process are eventually timely
+// (Sync, or PartialSync past GST) and given enough steps, every correct
+// process stops suspecting it and the leader outputs stabilize — Ω. On
+// all-async matrices stabilization is not guaranteed; the netconv campaigns
+// measure exactly that boundary.
+
+package msgnet
+
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// HeartbeatConfig parameterizes the detector.
+type HeartbeatConfig struct {
+	// N is the system size (2..procset.MaxProcs).
+	N int
+	// Window is the number of receive steps between broadcast rounds.
+	// 0 means 2(N-1): drain capacity for one full round of peers with slack.
+	Window int
+	// Timeout is the initial silence tolerance, in own steps. 0 means
+	// 4(N-1+Window): a few rounds of slack before the first suspicion.
+	Timeout int
+	// Stamp, when true, stamps each heartbeat payload with the sender's
+	// round number (int) instead of nil. Stamped heartbeats give
+	// delivery-corruption adversaries something to corrupt and the
+	// round-structure tests something to compare, at the cost of boxing
+	// allocations once rounds exceed the small-int interning range — the
+	// 0 allocs/op steady state is measured with Stamp off.
+	Stamp bool
+}
+
+// Heartbeat is the harness-side state of one detector instance: it builds
+// the per-process machines and exposes their leader outputs between steps.
+// Instances are single-run but pool-friendly — the machine factory re-reads
+// all state from the instance, and Runner.Reset rebuilds machines through
+// it, so a pooled runner resets the detector for free.
+type Heartbeat struct {
+	cfg     HeartbeatConfig
+	leaders []procset.ID // leader output per process, indexed by id-1
+	rounds  []int        // completed broadcast rounds per process
+}
+
+// NewHeartbeat validates cfg and returns a detector instance.
+func NewHeartbeat(cfg HeartbeatConfig) (*Heartbeat, error) {
+	if cfg.N < 2 || cfg.N > procset.MaxProcs {
+		return nil, fmt.Errorf("msgnet: heartbeat needs n in [2,%d], got %d", procset.MaxProcs, cfg.N)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 2 * (cfg.N - 1)
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("msgnet: heartbeat Window = %d < 1", cfg.Window)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 4 * (cfg.N - 1 + cfg.Window)
+	}
+	if cfg.Timeout < 1 {
+		return nil, fmt.Errorf("msgnet: heartbeat Timeout = %d < 1", cfg.Timeout)
+	}
+	return &Heartbeat{
+		cfg:     cfg,
+		leaders: make([]procset.ID, cfg.N),
+		rounds:  make([]int, cfg.N),
+	}, nil
+}
+
+// Machine builds the automaton for process p — the sim.Config.Machine
+// factory (the regs argument is unused: the detector touches no registers,
+// only the message plane).
+func (h *Heartbeat) Machine(p procset.ID, _ sim.Registry) sim.Machine {
+	m := &hbMachine{h: h, self: p, n: h.cfg.N}
+	m.silence = make([]int, h.cfg.N+1)
+	m.timeout = make([]int, h.cfg.N+1)
+	for q := 1; q <= h.cfg.N; q++ {
+		m.timeout[q] = h.cfg.Timeout
+	}
+	h.leaders[p-1] = 1 // everyone starts trusting the smallest id
+	h.rounds[p-1] = 0
+	return m
+}
+
+// Leader returns p's current leader output.
+func (h *Heartbeat) Leader(p procset.ID) procset.ID { return h.leaders[p-1] }
+
+// Rounds returns the number of broadcast rounds p has completed.
+func (h *Heartbeat) Rounds(p procset.ID) int { return h.rounds[p-1] }
+
+// Agree reports whether every process in live outputs the same leader, and
+// that leader is itself in live — the Ω stabilization predicate the
+// campaigns check (live is the set the schedule kept scheduling).
+func (h *Heartbeat) Agree(live procset.Set) (procset.ID, bool) {
+	var leader procset.ID
+	for q := 1; q <= h.cfg.N; q++ {
+		if !live.Contains(procset.ID(q)) {
+			continue
+		}
+		l := h.leaders[q-1]
+		if leader == 0 {
+			leader = l
+		} else if l != leader {
+			return 0, false
+		}
+	}
+	if leader == 0 || !live.Contains(leader) {
+		return 0, false
+	}
+	return leader, true
+}
+
+// hbMachine is one process's automaton. Phases per round: n-1 sends (peers
+// in increasing id order, self skipped), then Window recvs.
+type hbMachine struct {
+	h    *Heartbeat
+	self procset.ID
+	n    int
+
+	peer      procset.ID // next peer to heartbeat, 0 when in the recv window
+	recvsLeft int
+	round     int
+
+	silence   []int  // own steps since last heard, indexed by id
+	timeout   []int  // current silence tolerance, indexed by id
+	suspected uint64 // bitmask, bit q-1
+	started   bool
+
+	opBuf sim.Op
+}
+
+// Next implements sim.Machine via NextOp.
+func (m *hbMachine) Next(prev any) (sim.Op, bool) {
+	op := m.NextOp(prev)
+	if op == nil {
+		return sim.Op{}, false
+	}
+	return *op, true
+}
+
+// NextOp implements sim.PtrMachine: digest the result of the step that just
+// executed, advance the timers and the suspicion set, and emit the next
+// operation from stable storage. The detector never halts.
+func (m *hbMachine) NextOp(prev any) *sim.Op {
+	if m.started {
+		// One own step elapsed: every peer's silence grows, crossing a
+		// timeout turns into a suspicion.
+		changed := false
+		for q := 1; q <= m.n; q++ {
+			if procset.ID(q) == m.self {
+				continue
+			}
+			m.silence[q]++
+			if m.silence[q] > m.timeout[q] && m.suspected&(1<<(q-1)) == 0 {
+				m.suspected |= 1 << (q - 1)
+				changed = true
+			}
+		}
+		if msg, ok := prev.(*sim.Message); ok {
+			q := int(msg.From)
+			m.silence[q] = 0
+			if m.suspected&(1<<(q-1)) != 0 {
+				// A false suspicion: rehabilitate and grow the tolerance, so
+				// each eventually-timely peer is falsely suspected only
+				// finitely often.
+				m.suspected &^= 1 << (q - 1)
+				m.timeout[q] += m.h.cfg.Timeout
+				changed = true
+			}
+		}
+		if changed {
+			m.h.leaders[m.self-1] = m.leader()
+		}
+	} else {
+		m.started = true
+		m.peer = m.nextPeer(0)
+	}
+	if m.peer != 0 {
+		to := m.peer
+		m.peer = m.nextPeer(to)
+		if m.peer == 0 {
+			m.recvsLeft = m.h.cfg.Window
+		}
+		var payload any
+		if m.h.cfg.Stamp {
+			payload = m.round
+		}
+		m.opBuf = sim.SendOp(to, payload)
+		return &m.opBuf
+	}
+	if m.recvsLeft > 0 {
+		m.recvsLeft--
+		m.opBuf = sim.RecvOp()
+		return &m.opBuf
+	}
+	// Window drained: start the next broadcast round.
+	m.round++
+	m.h.rounds[m.self-1] = m.round
+	to := m.nextPeer(0)
+	m.peer = m.nextPeer(to)
+	if m.peer == 0 {
+		m.recvsLeft = m.h.cfg.Window
+	}
+	var payload any
+	if m.h.cfg.Stamp {
+		payload = m.round
+	}
+	m.opBuf = sim.SendOp(to, payload)
+	return &m.opBuf
+}
+
+// nextPeer returns the smallest peer id greater than after (skipping self),
+// or 0 when the round's sends are done.
+func (m *hbMachine) nextPeer(after procset.ID) procset.ID {
+	for q := after + 1; int(q) <= m.n; q++ {
+		if q != m.self {
+			return q
+		}
+	}
+	return 0
+}
+
+// leader returns the smallest unsuspected process (self is never suspected,
+// so the scan always terminates with a valid id).
+func (m *hbMachine) leader() procset.ID {
+	for q := 1; q <= m.n; q++ {
+		if procset.ID(q) == m.self || m.suspected&(1<<(q-1)) == 0 {
+			return procset.ID(q)
+		}
+	}
+	return m.self
+}

@@ -1,0 +1,75 @@
+// Named link matrices: the grade configurations the netconv campaigns sweep
+// and the CLI exposes by name. Each builder returns a (default link,
+// overrides) pair for New's Config — uniform matrices for the pure regimes,
+// plus the mixed matrix the paper-style questions live on: at least three
+// links at different grades, one of them changing grade mid-run.
+
+package msgnet
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
+
+// Named matrices.
+const (
+	// MatrixSync: every link Sync{Δ} — the round-structure regime.
+	MatrixSync = "sync"
+	// MatrixPartialSync: every link PartialSync{Δ, GST} — DLS-style.
+	MatrixPartialSync = "psync"
+	// MatrixAsync: every link Async — no timeliness anywhere.
+	MatrixAsync = "async"
+	// MatrixMixed: PartialSync{Δ, GST} default, with 1→2 Sync{Δ}, 2→3
+	// Async, and 1→3 varying Async → Sync{Δ} at step 3·GST/2 — three
+	// distinct grades plus one interval-varying link, the netconv
+	// acceptance shape.
+	MatrixMixed = "mixed"
+)
+
+// MatrixNames returns the supported matrix names in deterministic order.
+func MatrixNames() []string {
+	names := []string{MatrixSync, MatrixPartialSync, MatrixAsync, MatrixMixed}
+	sort.Strings(names)
+	return names
+}
+
+// BuildMatrix resolves a named matrix for a system of n processes into New's
+// (Default, Links) inputs. delta bounds the timely grades; gst is the
+// stabilization step of the partially synchronous ones (and anchors the
+// mixed matrix's phase switch at 3·gst/2).
+func BuildMatrix(name string, n, delta, gst int) (Link, map[LinkKey]Link, error) {
+	if n < 2 || n > procset.MaxProcs {
+		return Link{}, nil, fmt.Errorf("msgnet: matrix needs n in [2,%d], got %d", procset.MaxProcs, n)
+	}
+	if delta < 1 {
+		return Link{}, nil, fmt.Errorf("msgnet: matrix Δ = %d < 1", delta)
+	}
+	if gst < 0 {
+		return Link{}, nil, fmt.Errorf("msgnet: matrix GST = %d < 0", gst)
+	}
+	switch name {
+	case MatrixSync:
+		return SyncLink(delta), nil, nil
+	case MatrixPartialSync:
+		return PartialSyncLink(delta, gst), nil, nil
+	case MatrixAsync:
+		return AsyncLink(), nil, nil
+	case MatrixMixed:
+		if n < 3 {
+			return Link{}, nil, fmt.Errorf("msgnet: %s matrix needs n ≥ 3, got %d", MatrixMixed, n)
+		}
+		varying := Link{Phases: []Phase{
+			{From: 0, Spec: LinkSpec{Grade: Async}},
+			{From: gst + gst/2 + 1, Spec: LinkSpec{Grade: Sync, Delta: delta}},
+		}}
+		return PartialSyncLink(delta, gst), map[LinkKey]Link{
+			{From: 1, To: 2}: SyncLink(delta),
+			{From: 2, To: 3}: AsyncLink(),
+			{From: 1, To: 3}: varying,
+		}, nil
+	default:
+		return Link{}, nil, fmt.Errorf("msgnet: unknown matrix %q (want one of %v)", name, MatrixNames())
+	}
+}

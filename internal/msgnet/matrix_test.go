@@ -1,0 +1,64 @@
+package msgnet
+
+import "testing"
+
+// TestBuildMatrixShapes pins the named matrices' link assignments.
+func TestBuildMatrixShapes(t *testing.T) {
+	for _, name := range MatrixNames() {
+		def, links, err := BuildMatrix(name, 4, 2, 400)
+		if err != nil {
+			t.Fatalf("BuildMatrix(%q): %v", name, err)
+		}
+		switch name {
+		case MatrixSync:
+			if def.Spec.Grade != Sync || len(links) != 0 {
+				t.Fatalf("%s: default %v, %d overrides", name, def.Spec, len(links))
+			}
+		case MatrixPartialSync:
+			if def.Spec.Grade != PartialSync || def.Spec.GST != 400 || len(links) != 0 {
+				t.Fatalf("%s: default %v, %d overrides", name, def.Spec, len(links))
+			}
+		case MatrixAsync:
+			if def.Spec.Grade != Async || len(links) != 0 {
+				t.Fatalf("%s: default %v, %d overrides", name, def.Spec, len(links))
+			}
+		case MatrixMixed:
+			if def.Spec.Grade != PartialSync {
+				t.Fatalf("%s: default %v", name, def.Spec)
+			}
+			if len(links) != 3 {
+				t.Fatalf("%s: %d overrides, want 3", name, len(links))
+			}
+			varying := links[LinkKey{From: 1, To: 3}]
+			if len(varying.Phases) != 2 || varying.Phases[0].Spec.Grade != Async || varying.Phases[1].Spec.Grade != Sync {
+				t.Fatalf("%s: varying link %+v", name, varying)
+			}
+			if varying.Phases[1].From != 601 {
+				t.Fatalf("%s: phase switch at %d, want 601", name, varying.Phases[1].From)
+			}
+		}
+		// Every named matrix must be constructible as-is.
+		if _, err := New(Config{N: 4, Default: def, Links: links}); err != nil {
+			t.Fatalf("New on %s matrix: %v", name, err)
+		}
+	}
+}
+
+// TestBuildMatrixValidation pins the builder's input checking.
+func TestBuildMatrixValidation(t *testing.T) {
+	if _, _, err := BuildMatrix("nope", 4, 2, 100); err == nil {
+		t.Fatal("unknown matrix accepted")
+	}
+	if _, _, err := BuildMatrix(MatrixSync, 1, 2, 100); err == nil {
+		t.Fatal("n = 1 accepted")
+	}
+	if _, _, err := BuildMatrix(MatrixSync, 4, 0, 100); err == nil {
+		t.Fatal("Δ = 0 accepted")
+	}
+	if _, _, err := BuildMatrix(MatrixMixed, 2, 2, 100); err == nil {
+		t.Fatal("mixed matrix at n = 2 accepted")
+	}
+	if _, _, err := BuildMatrix(MatrixSync, 4, 2, -1); err == nil {
+		t.Fatal("negative GST accepted")
+	}
+}

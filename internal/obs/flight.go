@@ -18,6 +18,11 @@ type flightKey struct{}
 
 // WithFlight returns a context requesting per-runner flight recording with a
 // ring of k steps. k ≤ 0 returns ctx unchanged (recording stays off).
+//
+// This is the low-level primitive; campaign code should set Flight on a
+// campaign.Options value and apply it with campaign.WithOptions, which
+// applies this knob alongside the campaign-side ones. (It carries no formal
+// deprecation marker only because campaign.WithOptions itself calls it.)
 func WithFlight(ctx context.Context, k int) context.Context {
 	if k <= 0 {
 		return ctx

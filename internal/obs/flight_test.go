@@ -1,10 +1,11 @@
-package obs
+package obs_test
 
 import (
 	"context"
 	"strings"
 	"testing"
 
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
@@ -12,13 +13,13 @@ import (
 
 func TestFlightContextKnob(t *testing.T) {
 	ctx := context.Background()
-	if FlightK(ctx) != 0 {
+	if obs.FlightK(ctx) != 0 {
 		t.Fatal("bare context requests flight recording")
 	}
-	if FlightK(WithFlight(ctx, 64)) != 64 {
+	if obs.FlightK(obs.WithFlight(ctx, 64)) != 64 {
 		t.Fatal("knob did not round-trip")
 	}
-	if FlightK(WithFlight(ctx, 0)) != 0 || FlightK(WithFlight(ctx, -3)) != 0 {
+	if obs.FlightK(obs.WithFlight(ctx, 0)) != 0 || obs.FlightK(obs.WithFlight(ctx, -3)) != 0 {
 		t.Fatal("non-positive k must leave recording off")
 	}
 }
@@ -35,11 +36,11 @@ func TestFlightDump(t *testing.T) {
 	}
 	defer r.Close()
 
-	if FlightDump(r) != "" {
+	if obs.FlightDump(r) != "" {
 		t.Fatal("dump without a recorder must be empty")
 	}
 	r.SetFlightRecorder(sim.NewFlightRecorder(16))
-	if FlightDump(r) != "" {
+	if obs.FlightDump(r) != "" {
 		t.Fatal("dump before any step must be empty")
 	}
 	src, err := sched.RoundRobin(2, nil)
@@ -47,7 +48,7 @@ func TestFlightDump(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.RunBatch(src, 40, 0, nil)
-	dump := FlightDump(r)
+	dump := obs.FlightDump(r)
 	if !strings.Contains(dump, "ping") {
 		t.Fatalf("dump does not resolve register names:\n%s", dump)
 	}

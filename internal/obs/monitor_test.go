@@ -1,4 +1,4 @@
-package obs
+package obs_test
 
 import (
 	"context"
@@ -7,15 +7,16 @@ import (
 
 	"github.com/settimeliness/settimeliness/internal/campaign"
 	"github.com/settimeliness/settimeliness/internal/experiments"
+	"github.com/settimeliness/settimeliness/internal/obs"
 	"github.com/settimeliness/settimeliness/internal/procset"
 	"github.com/settimeliness/settimeliness/internal/sched"
 	"github.com/settimeliness/settimeliness/internal/sim"
 )
 
 // mustMonitor builds a full-family monitor or fails the test.
-func mustMonitor(t *testing.T, cfg MonitorConfig) *Monitor {
+func mustMonitor(t *testing.T, cfg obs.MonitorConfig) *obs.Monitor {
 	t.Helper()
-	m, err := NewMonitor(cfg)
+	m, err := obs.NewMonitor(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func mustMonitor(t *testing.T, cfg MonitorConfig) *Monitor {
 // checkAgainstBatch compares every query of m against the batch extractor on
 // the schedule m observed. This is the plane's core contract: online answers
 // are bit-identical to sched's offline ones on the same prefix.
-func checkAgainstBatch(t *testing.T, m *Monitor, s sched.Schedule, n int) {
+func checkAgainstBatch(t *testing.T, m *obs.Monitor, s sched.Schedule, n int) {
 	t.Helper()
 	for i := 1; i <= n; i++ {
 		for j := i; j <= n; j++ {
@@ -97,7 +98,7 @@ func TestMonitorMatchesBatchExtractor(t *testing.T) {
 	for _, kind := range []string{"roundrobin", "random", "random-crash", "starver", "figure1", "system"} {
 		t.Run(kind, func(t *testing.T) {
 			s := sched.Take(mustSource(t, kind, n, 99), steps)
-			m := mustMonitor(t, MonitorConfig{N: n})
+			m := mustMonitor(t, obs.MonitorConfig{N: n})
 			m.ObserveBlock(s)
 			if m.Steps() != steps {
 				t.Fatalf("Steps() = %d, want %d", m.Steps(), steps)
@@ -113,7 +114,7 @@ func TestMonitorMatchesBatchExtractor(t *testing.T) {
 func TestMonitorIncrementalPrefixes(t *testing.T) {
 	const n = 4
 	s := sched.Take(mustSource(t, "random", n, 7), 500)
-	m := mustMonitor(t, MonitorConfig{N: n})
+	m := mustMonitor(t, obs.MonitorConfig{N: n})
 	checkpoints := map[int]bool{1: true, 2: true, 17: true, 100: true, 255: true, 256: true, 257: true, 499: true, 500: true}
 	for idx, p := range s {
 		m.Observe(p)
@@ -135,7 +136,7 @@ func TestMonitorFuzzEquivalence(t *testing.T) {
 			kind := kinds[int(seed)%len(kinds)]
 			steps := 50 + int(uint64(seed*2654435761)%1500)
 			s := sched.Take(mustSource(t, kind, n, seed+1), steps)
-			m := mustMonitor(t, MonitorConfig{N: n})
+			m := mustMonitor(t, obs.MonitorConfig{N: n})
 			// Feed in uneven blocks to exercise ObserveBlock boundaries.
 			for len(s) > 0 {
 				k := 1 + int(uint64(len(s)*31+int(seed))%97)
@@ -156,7 +157,7 @@ func TestMonitorFuzzEquivalence(t *testing.T) {
 func TestMonitorWindow(t *testing.T) {
 	const n, steps, window = 4, 300, 64
 	s := sched.Take(mustSource(t, "random", n, 11), steps)
-	m := mustMonitor(t, MonitorConfig{N: n, Window: window})
+	m := mustMonitor(t, obs.MonitorConfig{N: n, Window: window})
 	m.ObserveBlock(s)
 
 	win := m.WindowSchedule()
@@ -177,14 +178,14 @@ func TestMonitorWindow(t *testing.T) {
 	}
 
 	// A partially filled window returns only what was observed.
-	m2 := mustMonitor(t, MonitorConfig{N: n, Window: window})
+	m2 := mustMonitor(t, obs.MonitorConfig{N: n, Window: window})
 	m2.ObserveBlock(s[:10])
 	if got := m2.WindowSchedule(); !slices.Equal(got, s[:10]) {
 		t.Fatalf("partial window = %v, want first 10 steps", got)
 	}
 
 	// No window: WindowSchedule degrades to nil, Recent* panics.
-	if m3 := mustMonitor(t, MonitorConfig{N: n}); m3.WindowSchedule() != nil {
+	if m3 := mustMonitor(t, obs.MonitorConfig{N: n}); m3.WindowSchedule() != nil {
 		t.Fatal("windowless monitor returned a window schedule")
 	}
 }
@@ -192,7 +193,7 @@ func TestMonitorWindow(t *testing.T) {
 // Reset returns the monitor to a fresh state without reallocation.
 func TestMonitorReset(t *testing.T) {
 	const n = 3
-	m := mustMonitor(t, MonitorConfig{N: n, Window: 16})
+	m := mustMonitor(t, obs.MonitorConfig{N: n, Window: 16})
 	m.ObserveBlock(sched.Take(mustSource(t, "random", n, 5), 200))
 	m.Reset()
 	if m.Steps() != 0 || m.WindowSchedule() != nil && len(m.WindowSchedule()) != 0 {
@@ -208,7 +209,7 @@ func TestMonitorReset(t *testing.T) {
 func TestMonitorGraph(t *testing.T) {
 	const n, steps, bound = 4, 400, 4
 	s := sched.Take(mustSource(t, "random", n, 21), steps)
-	m := mustMonitor(t, MonitorConfig{N: n})
+	m := mustMonitor(t, obs.MonitorConfig{N: n})
 	m.ObserveBlock(s)
 	rows := m.Graph(bound)
 	want := 0
@@ -235,7 +236,7 @@ func TestMonitorGraph(t *testing.T) {
 // Restricting Sizes tracks only the named classes; untracked queries panic.
 func TestMonitorSizesRestriction(t *testing.T) {
 	const n = 5
-	m := mustMonitor(t, MonitorConfig{N: n, Sizes: [][2]int{{1, n}, {2, n}}})
+	m := mustMonitor(t, obs.MonitorConfig{N: n, Sizes: [][2]int{{1, n}, {2, n}}})
 	s := sched.Take(mustSource(t, "starver", n, 3), 300)
 	m.ObserveBlock(s)
 	for _, ij := range [][2]int{{1, n}, {2, n}} {
@@ -257,7 +258,7 @@ func TestMonitorSizesRestriction(t *testing.T) {
 }
 
 func TestMonitorConfigValidation(t *testing.T) {
-	cases := []MonitorConfig{
+	cases := []obs.MonitorConfig{
 		{N: 0},
 		{N: procset.MaxProcs + 1},
 		{N: 7}, // full family beyond the implicit limit
@@ -267,12 +268,12 @@ func TestMonitorConfigValidation(t *testing.T) {
 		{N: 4, Sizes: [][2]int{{1, 5}}},
 	}
 	for _, cfg := range cases {
-		if _, err := NewMonitor(cfg); err == nil {
-			t.Fatalf("NewMonitor(%+v) accepted an invalid config", cfg)
+		if _, err := obs.NewMonitor(cfg); err == nil {
+			t.Fatalf("obs.NewMonitor(%+v) accepted an invalid config", cfg)
 		}
 	}
 	// Large n is fine with explicit classes.
-	if _, err := NewMonitor(MonitorConfig{N: 12, Sizes: [][2]int{{1, 12}}}); err != nil {
+	if _, err := obs.NewMonitor(obs.MonitorConfig{N: 12, Sizes: [][2]int{{1, 12}}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -295,7 +296,7 @@ func TestMonitorMatchesRelationsCampaign(t *testing.T) {
 	// Rebuild the population from the campaign's derived seeds and tally
 	// membership through the monitor instead of the batch extractor.
 	tallies := map[string]int{}
-	m := mustMonitor(t, MonitorConfig{N: cfg.N})
+	m := mustMonitor(t, obs.MonitorConfig{N: cfg.N})
 	for idx := 0; idx < cfg.Schedules; idx++ {
 		jobSeed := campaign.SeedFor(seed, idx)
 		var (
@@ -337,7 +338,7 @@ func TestMonitorMatchesRelationsCampaign(t *testing.T) {
 // one (same final register value, same step counters).
 func TestMonitorTapFeedThroughRunner(t *testing.T) {
 	const n, steps = 4, 2048
-	m := mustMonitor(t, MonitorConfig{N: n})
+	m := mustMonitor(t, obs.MonitorConfig{N: n})
 
 	drive := func(src sched.Source) sim.Stats {
 		t.Helper()

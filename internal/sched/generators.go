@@ -434,5 +434,9 @@ func newRand(seed int64) *rand.Rand {
 // generator directly (see random.intN) produce the same streams as those
 // going through rand.Rand.
 func newPCG(seed int64) *rand.PCG {
-	return rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)
+	return rand.NewPCG(uint64(seed), pcgStream)
 }
+
+// pcgStream is the fixed second PCG seed word (the odd golden-ratio
+// constant); splitting it out lets LinkDelays.Reset re-seed in place.
+const pcgStream = 0x9e3779b97f4a7c15

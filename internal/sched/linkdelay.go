@@ -1,0 +1,71 @@
+// Link-grade generation: the deterministic delay stream behind the message
+// plane's graded links (internal/msgnet). A link's timing grade — Sync{Δ},
+// PartialSync{Δ,GST}, Async — fixes *bounds* on delivery delay; the concrete
+// delay of each send is drawn from this stream, so the whole population of
+// per-link delays is a function of one seed, exactly like the schedule
+// generators above make whole schedule populations a function of theirs.
+// One stream per network (not per link): sends draw in schedule order, so
+// delivery order is determined by the (seed, schedule) pair alone.
+
+package sched
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// LinkDelays is a seeded uniform delay stream. It reuses the schedule
+// generators' PCG construction so a (seed, draw-sequence) pair reproduces
+// forever, and it is resettable in place: Reset rewinds the stream to its
+// construction state, which is what lets a pooled network replay a run
+// bit-identically after Runner.Reset.
+type LinkDelays struct {
+	seed int64
+	pcg  *rand.PCG
+}
+
+// NewLinkDelays returns a delay stream for the given seed.
+func NewLinkDelays(seed int64) *LinkDelays {
+	return &LinkDelays{seed: seed, pcg: newPCG(seed)}
+}
+
+// Draw returns a uniform delay in [lo, hi] (hi ≥ lo ≥ 0), consuming one or
+// more PCG draws. The bounded draw is the same Lemire multiply-shift the
+// random schedule source uses, so the stream is bias-free and cheap enough
+// for the batched send path.
+func (d *LinkDelays) Draw(lo, hi int) int {
+	if hi < lo {
+		panic("sched: LinkDelays.Draw with hi < lo")
+	}
+	span := uint64(hi-lo) + 1
+	if span == 1 {
+		return lo
+	}
+	var v uint64
+	if span&(span-1) == 0 {
+		v = d.pcg.Uint64() & (span - 1)
+	} else {
+		hi64, lo64 := bits.Mul64(d.pcg.Uint64(), span)
+		if lo64 < span {
+			thresh := -span % span
+			for lo64 < thresh {
+				hi64, lo64 = bits.Mul64(d.pcg.Uint64(), span)
+			}
+		}
+		v = hi64
+	}
+	return lo + int(v)
+}
+
+// Reset rewinds the stream to its construction state.
+func (d *LinkDelays) Reset() {
+	d.pcg.Seed(uint64(d.seed), pcgStream)
+}
+
+// Reseed replaces the stream's seed and rewinds — what lets a pooled
+// network draw a fresh delay population per campaign run without
+// reallocating.
+func (d *LinkDelays) Reseed(seed int64) {
+	d.seed = seed
+	d.Reset()
+}

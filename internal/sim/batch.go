@@ -95,7 +95,7 @@ func (r *Runner) stepBlock(block []procset.ID) {
 	// nil unless a debugging session attached one, costs one predictable
 	// branch per step while detached.
 	fr := r.flight
-	var reads, writes, noops int64
+	var reads, writes, noops, sends, recvs int64
 	for _, p := range block {
 		if p < 1 || procset.ID(len(procs)) < p {
 			panic(fmt.Sprintf("sim: process %v outside Π%d", p, len(procs)))
@@ -122,14 +122,23 @@ func (r *Runner) stepBlock(block []procset.ID) {
 		}
 		var prev any
 		id := pr.nextRegID
-		if pr.nextKind == OpRead {
+		switch pr.nextKind {
+		case OpRead:
 			prev = mem.values[id]
 			reads++
-		} else {
+		case OpWrite:
 			mem.values[id] = pr.nextValue
 			mem.writeSeqs[id]++
 			mem.lastWriter[id] = p
 			writes++
+		case OpSend:
+			r.net.Send(r.steps-1, p, pr.nextDest, pr.nextValue)
+			sends++
+		default: // OpRecv — setNextNet admits nothing else
+			if m := r.net.Recv(r.steps-1, p); m != nil {
+				prev = m
+			}
+			recvs++
 		}
 		if fr != nil {
 			fr.record(r.steps-1, p, pr.nextKind, id)
@@ -144,7 +153,8 @@ func (r *Runner) stepBlock(block []procset.ID) {
 				continue
 			}
 			if op.Kind != OpRead && op.Kind != OpWrite {
-				panic(badOpKind(op.Kind))
+				r.setNextNet(pr, op.Kind, op.Dest, op.Value)
+				continue
 			}
 			rr := op.reg
 			if rr == nil {
@@ -163,7 +173,8 @@ func (r *Runner) stepBlock(block []procset.ID) {
 			continue
 		}
 		if op.Kind != OpRead && op.Kind != OpWrite {
-			panic(badOpKind(op.Kind))
+			r.setNextNet(pr, op.Kind, op.Dest, op.Value)
+			continue
 		}
 		rr := op.reg
 		if rr == nil {
@@ -181,4 +192,6 @@ func (r *Runner) stepBlock(block []procset.ID) {
 	r.stats.reads += reads
 	r.stats.writes += writes
 	r.stats.noops += noops
+	r.stats.sends += sends
+	r.stats.recvs += recvs
 }

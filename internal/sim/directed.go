@@ -141,22 +141,28 @@ func (r *Runner) stepDirected(d Director) {
 	var prev, wrote any
 	mem := r.mem
 	isWrite := pr.nextKind == OpWrite
-	if isWrite {
+	switch pr.nextKind {
+	case OpWrite:
 		wrote = pr.nextValue
 		mem.values[id] = wrote
 		mem.writeSeqs[id]++
 		mem.lastWriter[id] = p
-	} else {
+	case OpRead:
 		prev = mem.values[id]
+	case OpSend:
+		r.net.Send(r.steps-1, p, pr.nextDest, pr.nextValue)
+	default: // OpRecv — setNextNet admits nothing else
+		if m := r.net.Recv(r.steps-1, p); m != nil {
+			prev = m
+		}
 	}
 	if pm := pr.ptrMachine; pm != nil {
 		op := pm.NextOp(prev)
 		if op == nil {
 			pr.isHalted = true
+		} else if op.Kind != OpRead && op.Kind != OpWrite {
+			r.setNextNet(pr, op.Kind, op.Dest, op.Value)
 		} else {
-			if op.Kind != OpRead && op.Kind != OpWrite {
-				panic(badOpKind(op.Kind))
-			}
 			rr := op.reg
 			if rr == nil {
 				rr = mustRegister(op.Reg)
@@ -169,10 +175,9 @@ func (r *Runner) stepDirected(d Director) {
 		}
 	} else if op, ok := pr.machine.Next(prev); !ok {
 		pr.isHalted = true
+	} else if op.Kind != OpRead && op.Kind != OpWrite {
+		r.setNextNet(pr, op.Kind, op.Dest, op.Value)
 	} else {
-		if op.Kind != OpRead && op.Kind != OpWrite {
-			panic(badOpKind(op.Kind))
-		}
 		rr := op.reg
 		if rr == nil {
 			rr = mustRegister(op.Reg)
@@ -237,22 +242,28 @@ func (r *Runner) stepDirectedRW(d Director, mut WriteMutator) {
 	var prev, wrote any
 	mem := r.mem
 	isWrite := pr.nextKind == OpWrite
-	if isWrite {
+	switch pr.nextKind {
+	case OpWrite:
 		wrote = mut.MutateWrite(id, p, mem.values[id], pr.nextValue)
 		mem.values[id] = wrote
 		mem.writeSeqs[id]++
 		mem.lastWriter[id] = p
-	} else {
+	case OpRead:
 		prev = mem.values[id]
+	case OpSend:
+		r.net.Send(r.steps-1, p, pr.nextDest, pr.nextValue)
+	default: // OpRecv — setNextNet admits nothing else
+		if m := r.net.Recv(r.steps-1, p); m != nil {
+			prev = m
+		}
 	}
 	if pm := pr.ptrMachine; pm != nil {
 		op := pm.NextOp(prev)
 		if op == nil {
 			pr.isHalted = true
+		} else if op.Kind != OpRead && op.Kind != OpWrite {
+			r.setNextNet(pr, op.Kind, op.Dest, op.Value)
 		} else {
-			if op.Kind != OpRead && op.Kind != OpWrite {
-				panic(badOpKind(op.Kind))
-			}
 			rr := op.reg
 			if rr == nil {
 				rr = mustRegister(op.Reg)
@@ -265,10 +276,9 @@ func (r *Runner) stepDirectedRW(d Director, mut WriteMutator) {
 		}
 	} else if op, ok := pr.machine.Next(prev); !ok {
 		pr.isHalted = true
+	} else if op.Kind != OpRead && op.Kind != OpWrite {
+		r.setNextNet(pr, op.Kind, op.Dest, op.Value)
 	} else {
-		if op.Kind != OpRead && op.Kind != OpWrite {
-			panic(badOpKind(op.Kind))
-		}
 		rr := op.reg
 		if rr == nil {
 			rr = mustRegister(op.Reg)

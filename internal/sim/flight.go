@@ -23,7 +23,8 @@ import (
 )
 
 // FlightRec is one recorded step. Reg is the dense register id (resolve
-// names with Runner.RegName); it is -1 for no-op steps of halted processes.
+// names with Runner.RegName); it is -1 for no-op steps of halted processes
+// and for message steps (send/recv), which touch no register.
 type FlightRec struct {
 	Index int
 	Proc  procset.ID
@@ -98,6 +99,10 @@ func (f *FlightRecorder) Dump(w io.Writer, r *Runner) {
 		switch rec.Kind {
 		case OpNoop:
 			fmt.Fprintf(w, "  #%d %v noop (halted)%s\n", rec.Index, rec.Proc, tag)
+		case OpSend, OpRecv:
+			// Message steps carry no register (Reg is -1); endpoints and
+			// payloads live on the network side, deliberately not retained.
+			fmt.Fprintf(w, "  #%d %v %v%s\n", rec.Index, rec.Proc, rec.Kind, tag)
 		default:
 			fmt.Fprintf(w, "  #%d %v %v %s%s\n", rec.Index, rec.Proc, rec.Kind, r.RegName(rec.Reg), tag)
 		}

@@ -13,18 +13,26 @@
 
 package sim
 
-import "github.com/settimeliness/settimeliness/internal/procset"
+import (
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/procset"
+)
 
 // Op is the operation a Machine requests from the runner: one read or write
-// of one shared register.
+// of one shared register, or — on runners with a Config.Network — one send
+// or recv on the message substrate.
 type Op struct {
-	// Kind is OpRead or OpWrite.
+	// Kind is OpRead, OpWrite, OpSend, or OpRecv.
 	Kind OpKind
-	// Reg is the register to operate on, obtained from the Registry the
-	// machine was built with.
+	// Reg is the register to operate on (read/write kinds), obtained from
+	// the Registry the machine was built with. Nil for send/recv kinds.
 	Reg Ref
-	// Value is the value to store for OpWrite; ignored for OpRead.
+	// Value is the value to store for OpWrite or the payload for OpSend;
+	// ignored otherwise.
 	Value any
+	// Dest is the destination process for OpSend; ignored otherwise.
+	Dest procset.ID
 	// reg is Reg pre-asserted to the runner's concrete register type, filled
 	// by ReadOp/WriteOp. Machines hand back prebuilt ops (often the same Op
 	// for millions of steps), so resolving at construction spares the
@@ -38,6 +46,16 @@ func ReadOp(r Ref) Op { return Op{Kind: OpRead, Reg: r, reg: asRegister(r)} }
 
 // WriteOp returns a write request storing v in r.
 func WriteOp(r Ref, v any) Op { return Op{Kind: OpWrite, Reg: r, Value: v, reg: asRegister(r)} }
+
+// SendOp returns a send request addressing payload to process to. The
+// payload follows the register-value aliasing contract: treat it as
+// immutable once sent. A nil payload is a pure signal — the delivered
+// Message already carries the sender and send step.
+func SendOp(to procset.ID, payload any) Op { return Op{Kind: OpSend, Dest: to, Value: payload} }
+
+// RecvOp returns a receive request: the automaton's next prev will be the
+// next deliverable *Message, or nil when the substrate has nothing ready.
+func RecvOp() Op { return Op{Kind: OpRecv} }
 
 // asRegister resolves a Ref to the concrete register, or nil if it is
 // foreign (reported later by mustRegister with a proper panic).
@@ -92,7 +110,8 @@ func (f MachineFunc) Next(prev any) (Op, bool) { return f(prev) }
 
 // PendingOp reports the operation process p will execute when next granted a
 // step, without executing it: the op kind and the target register's dense id.
-// Halted processes report (OpNoop, -1) — their steps are no-ops. Peeking an
+// Halted processes report (OpNoop, -1) — their steps are no-ops — and
+// message steps (OpSend/OpRecv) report -1 too: they touch no register. Peeking an
 // unstarted machine runs its pre-first-op local computation (exactly the work
 // the first granted step would run), which is unobservable to checks that
 // read op-completion results; the subsequent first step does not repeat it.
@@ -150,6 +169,19 @@ func (r *Runner) stepMachine(pr *proc, info *StepInfo) {
 		r.mem.lastWriter[id] = pr.id
 		info.Kind, info.Reg, info.Value = OpWrite, pr.nextReg.name, v
 		r.advanceMachine(pr, nil)
+	case OpSend:
+		v := pr.nextValue
+		r.net.Send(info.Index, pr.id, pr.nextDest, v)
+		info.Kind, info.Value, info.Peer = OpSend, v, pr.nextDest
+		r.advanceMachine(pr, nil)
+	case OpRecv:
+		var prev any
+		if m := r.net.Recv(info.Index, pr.id); m != nil {
+			prev = m
+			info.Value, info.Peer = m.Payload, m.From
+		}
+		info.Kind = OpRecv
+		r.advanceMachine(pr, prev)
 	default:
 		panic(badOpKind(pr.nextKind))
 	}
@@ -167,7 +199,8 @@ func (r *Runner) advanceMachine(pr *proc, prev any) {
 			return
 		}
 		if op.Kind != OpRead && op.Kind != OpWrite {
-			panic(badOpKind(op.Kind))
+			r.setNextNet(pr, op.Kind, op.Dest, op.Value)
+			return
 		}
 		if op.Reg == nil {
 			panic("sim: Machine returned an Op with nil Reg")
@@ -190,7 +223,8 @@ func (r *Runner) advanceMachine(pr *proc, prev any) {
 		return
 	}
 	if op.Kind != OpRead && op.Kind != OpWrite {
-		panic(badOpKind(op.Kind))
+		r.setNextNet(pr, op.Kind, op.Dest, op.Value)
+		return
 	}
 	if op.Reg == nil {
 		panic("sim: Machine returned an Op with nil Reg")
@@ -207,4 +241,33 @@ func (r *Runner) advanceMachine(pr *proc, prev any) {
 		// at it), sparing an interface store per read step.
 		pr.nextValue = op.Value
 	}
+}
+
+// setNextNet stores a message-plane request (OpSend/OpRecv) as pr's pending
+// operation — the off-the-register-path tail of every machine-advance site,
+// so the read/write hot paths keep their instruction streams. Register
+// fields are parked on the sentinel no-register state (nil, -1), which is
+// what PendingOp reports for message steps.
+func (r *Runner) setNextNet(pr *proc, kind OpKind, dest procset.ID, value any) {
+	if r.net == nil && (kind == OpSend || kind == OpRecv) {
+		panic(fmt.Sprintf("sim: %v op on a runner without Config.Network", kind))
+	}
+	switch kind {
+	case OpSend:
+		if dest < 1 || procset.ID(r.n) < dest {
+			panic(fmt.Sprintf("sim: send destination %v outside Π%d", dest, r.n))
+		}
+		if dest == pr.id {
+			panic(fmt.Sprintf("sim: %v sends to itself", pr.id))
+		}
+		pr.nextKind = OpSend
+		pr.nextDest = dest
+		pr.nextValue = value
+	case OpRecv:
+		pr.nextKind = OpRecv
+	default:
+		panic(badOpKind(kind))
+	}
+	pr.nextReg = nil
+	pr.nextRegID = -1
 }

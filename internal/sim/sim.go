@@ -86,6 +86,12 @@ const (
 	OpWrite
 	// OpNoop is a step granted to a process whose automaton has halted.
 	OpNoop
+	// OpSend hands one message to the attached Network (see net.go),
+	// addressed to Op.Dest. Machine-mode runners with Config.Network only.
+	OpSend
+	// OpRecv asks the attached Network for the next deliverable message; the
+	// automaton's next prev is a *Message, or nil when nothing was ready.
+	OpRecv
 )
 
 // String returns a short name for the kind.
@@ -97,6 +103,10 @@ func (k OpKind) String() string {
 		return "write"
 	case OpNoop:
 		return "noop"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -116,8 +126,12 @@ type StepInfo struct {
 	Kind OpKind
 	// Reg is the register name for read/write steps.
 	Reg string
-	// Value is the value read or written.
+	// Value is the value read or written; for send steps the payload sent,
+	// for recv steps the payload delivered (nil when nothing was ready).
 	Value any
+	// Peer is the other endpoint of a message step: the destination for
+	// OpSend, the sender for a delivering OpRecv, 0 otherwise.
+	Peer procset.ID
 	// Fault is the fault class the process was tagged with (see
 	// Runner.SetFaultClass); FaultHonest on untagged runners, so streams
 	// from fault-free runs are unchanged by the field's existence.
@@ -389,7 +403,8 @@ type proc struct {
 	nextReg    *register
 	nextRegID  RegID // nextReg.id, resolved once so the hot loops index the dense plane without the pointer chase
 	nextValue  any
-	started    bool // whether the machine's first request has been fetched
+	nextDest   procset.ID // destination of a pending OpSend
+	started    bool       // whether the machine's first request has been fetched
 }
 
 // procEnv implements Env for one coroutine process.
@@ -445,6 +460,10 @@ type Runner struct {
 	algorithm func(procset.ID) Algorithm
 	machine   func(procset.ID, Registry) Machine
 
+	// net is the attached message substrate (nil on register-only runners);
+	// see net.go. Machine mode only.
+	net Network
+
 	observer func(StepInfo)
 	steps    int
 	closed   bool
@@ -474,6 +493,11 @@ type Config struct {
 	// Reset), sequentially on the constructing goroutine; regs interns the
 	// machine's registers.
 	Machine func(p procset.ID, regs Registry) Machine
+	// Network, if non-nil, attaches a message substrate: machines may then
+	// request OpSend/OpRecv steps (see net.go and SendOp/RecvOp). Machine
+	// mode only — the coroutine Env has no message verbs, so NewRunner
+	// rejects a Network on an Algorithm runner.
+	Network Network
 	// Observer, if non-nil, is invoked synchronously after every executed
 	// step, including no-op steps of halted processes.
 	Observer func(StepInfo)
@@ -498,6 +522,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if (cfg.Algorithm == nil) == (cfg.Machine == nil) {
 		return nil, fmt.Errorf("sim: exactly one of Config.Algorithm and Config.Machine is required")
 	}
+	if cfg.Network != nil && cfg.Machine == nil {
+		return nil, fmt.Errorf("sim: Config.Network requires a direct-dispatch (Machine) runner")
+	}
 	r := &Runner{
 		n:         cfg.N,
 		mem:       newMemory(cfg.Machine != nil),
@@ -505,6 +532,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		kill:      make(chan struct{}),
 		algorithm: cfg.Algorithm,
 		machine:   cfg.Machine,
+		net:       cfg.Network,
 		observer:  cfg.Observer,
 	}
 	// Value recycling is sound only when nothing can retain a written value
@@ -564,6 +592,9 @@ func (r *Runner) start(p *proc) error {
 
 // Steps returns the number of steps executed so far.
 func (r *Runner) Steps() int { return r.steps }
+
+// Network returns the attached message substrate, or nil.
+func (r *Runner) Network() Network { return r.net }
 
 // Registers returns the number of shared registers interned so far. Interned
 // registers survive Reset (with values reverted to nil), so on a reused
@@ -723,6 +754,12 @@ func (r *Runner) Reset() error {
 	// freelists instead of a cold heap — including after mid-run stops that
 	// left scans in flight or crashed processes holding leases.
 	r.mem.resetRecyclers()
+	// The message substrate rewinds with the run: queues emptied, timing and
+	// sequence state back to step 0, pooled envelope storage retained — the
+	// same bit-identical-replay contract the register plane keeps.
+	if r.net != nil {
+		r.net.Reset()
+	}
 	r.steps = 0
 	// Counters cover the current run, mirroring Steps; the flight recorder,
 	// if any, deliberately survives (its ring spans pooled jobs until the
@@ -739,6 +776,7 @@ func (r *Runner) Reset() error {
 		p.nextReg = nil
 		p.nextRegID = 0
 		p.nextValue = nil
+		p.nextDest = 0
 		p.started = false
 		if err := r.start(p); err != nil {
 			return err

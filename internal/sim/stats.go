@@ -16,7 +16,8 @@ package sim
 import "github.com/settimeliness/settimeliness/internal/procset"
 
 // Stats is a snapshot of a runner's step counters. All fields count since
-// construction or the last Reset. Steps == Reads + Writes + Noops.
+// construction or the last Reset.
+// Steps == Reads + Writes + Noops + Sends + Recvs.
 type Stats struct {
 	// Steps is the total number of executed steps (Runner.Steps).
 	Steps int64 `json:"steps"`
@@ -27,6 +28,10 @@ type Stats struct {
 	Writes int64 `json:"writes"`
 	// Noops counts steps granted to halted processes.
 	Noops int64 `json:"noops"`
+	// Sends counts message-send steps (runners with a Config.Network).
+	Sends int64 `json:"sends,omitempty"`
+	// Recvs counts message-receive steps, delivering or empty.
+	Recvs int64 `json:"recvs,omitempty"`
 	// Registers is the number of interned shared registers (a gauge; the
 	// interned set survives Reset).
 	Registers int64 `json:"registers"`
@@ -40,6 +45,8 @@ func (s Stats) Add(t Stats) Stats {
 		Reads:     s.Reads + t.Reads,
 		Writes:    s.Writes + t.Writes,
 		Noops:     s.Noops + t.Noops,
+		Sends:     s.Sends + t.Sends,
+		Recvs:     s.Recvs + t.Recvs,
 		Registers: t.Registers,
 	}
 }
@@ -52,18 +59,22 @@ func (s Stats) Sub(t Stats) Stats {
 		Reads:     s.Reads - t.Reads,
 		Writes:    s.Writes - t.Writes,
 		Noops:     s.Noops - t.Noops,
+		Sends:     s.Sends - t.Sends,
+		Recvs:     s.Recvs - t.Recvs,
 		Registers: s.Registers,
 	}
 }
 
-// statCounters is the runner-embedded accumulation block. Reads/writes/noops
-// are folded in at block boundaries by the batched loops and incremented
-// directly by the per-step paths; Steps is derived from Runner.steps, which
-// the engine has always maintained.
+// statCounters is the runner-embedded accumulation block. The step-kind
+// counters are folded in at block boundaries by the batched loops and
+// incremented directly by the per-step paths; Steps is derived from
+// Runner.steps, which the engine has always maintained.
 type statCounters struct {
 	reads  int64
 	writes int64
 	noops  int64
+	sends  int64
+	recvs  int64
 }
 
 // recordStep accumulates the counters for one executed step and, when a
@@ -76,6 +87,10 @@ func (r *Runner) recordStep(index int, p procset.ID, kind OpKind, reg RegID) {
 		r.stats.reads++
 	case OpWrite:
 		r.stats.writes++
+	case OpSend:
+		r.stats.sends++
+	case OpRecv:
+		r.stats.recvs++
 	default:
 		r.stats.noops++
 	}
@@ -93,6 +108,8 @@ func (r *Runner) Stats() Stats {
 		Reads:     r.stats.reads,
 		Writes:    r.stats.writes,
 		Noops:     r.stats.noops,
+		Sends:     r.stats.sends,
+		Recvs:     r.stats.recvs,
 		Registers: int64(r.mem.size()),
 	}
 }

@@ -1,0 +1,256 @@
+// The unified functional-options surface: Solve and RunDetector take a
+// context plus Option values, layered over the classic SolveConfig /
+// DetectorConfig structs (which stay — embedded in the merged option state
+// and still usable wholesale via WithSolveConfig / WithDetectorConfig).
+// Shared knobs (Seed, MaxSteps, Crashes, TimelinessBound) set both embedded
+// configs, so one option list parameterizes either entry point.
+//
+// The Network option swaps RunDetector's substrate: instead of the
+// register-plane Figure 2 anti-Ω detector in S^k_{t+1,n}, it runs the
+// message-plane heartbeat Ω detector over a named msgnet link-grade matrix
+// (sync, psync, async, or mixed). The result maps onto DetectorResult with
+// Winnerset holding the single elected leader; Witness and StableFrom are
+// register-plane-specific and stay zero.
+
+package settimeliness
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/settimeliness/settimeliness/internal/msgnet"
+	"github.com/settimeliness/settimeliness/internal/procset"
+	"github.com/settimeliness/settimeliness/internal/sched"
+	"github.com/settimeliness/settimeliness/internal/sim"
+)
+
+// runConfig is the merged option state. Both classic config structs are
+// embedded; field names collide (Seed, MaxSteps, ...), so access is always
+// qualified and shared options write through to both.
+type runConfig struct {
+	SolveConfig
+	DetectorConfig
+	network *NetworkConfig
+}
+
+// Option configures a Solve or RunDetector call.
+type Option func(*runConfig)
+
+// WithSolveConfig replaces the embedded SolveConfig wholesale — the bridge
+// from the struct-based API.
+func WithSolveConfig(cfg SolveConfig) Option {
+	return func(rc *runConfig) { rc.SolveConfig = cfg }
+}
+
+// WithDetectorConfig replaces the embedded DetectorConfig wholesale — the
+// bridge from the struct-based API.
+func WithDetectorConfig(cfg DetectorConfig) Option {
+	return func(rc *runConfig) { rc.DetectorConfig = cfg }
+}
+
+// WithProblem selects the (t,k,n)-agreement instance for Solve, and sizes
+// the detector to the problem's matching parameters as a side effect.
+func WithProblem(p Problem) Option {
+	return func(rc *runConfig) {
+		rc.SolveConfig.Problem = p
+		rc.DetectorConfig.N, rc.DetectorConfig.K, rc.DetectorConfig.T = p.N, p.K, p.T
+	}
+}
+
+// WithSystem selects the S^i_{j,n} schedule generator for Solve; the zero
+// value means the problem's matching system.
+func WithSystem(sys SystemID) Option {
+	return func(rc *runConfig) { rc.SolveConfig.System = sys }
+}
+
+// WithProposals sets the initial values for Solve; nil means "v<p>".
+func WithProposals(proposals map[ProcID]any) Option {
+	return func(rc *runConfig) { rc.SolveConfig.Proposals = proposals }
+}
+
+// WithDetector sizes t-resilient k-anti-Ω for RunDetector. With the Network
+// option only n is used (the heartbeat detector has no k or t).
+func WithDetector(n, k, t int) Option {
+	return func(rc *runConfig) {
+		rc.DetectorConfig.N, rc.DetectorConfig.K, rc.DetectorConfig.T = n, k, t
+	}
+}
+
+// WithCrashes maps processes to the number of steps they take before
+// crashing.
+func WithCrashes(crashes map[ProcID]int) Option {
+	return func(rc *runConfig) {
+		rc.SolveConfig.Crashes = crashes
+		rc.DetectorConfig.Crashes = crashes
+	}
+}
+
+// WithSeed makes the run reproducible.
+func WithSeed(seed int64) Option {
+	return func(rc *runConfig) {
+		rc.SolveConfig.Seed = seed
+		rc.DetectorConfig.Seed = seed
+	}
+}
+
+// WithMaxSteps bounds the run; 0 means a generous default.
+func WithMaxSteps(steps int) Option {
+	return func(rc *runConfig) {
+		rc.SolveConfig.MaxSteps = steps
+		rc.DetectorConfig.MaxSteps = steps
+	}
+}
+
+// WithTimelinessBound sets the Definition 1 constant enforced by the
+// register-plane schedule generators; 0 means 4. The message plane's
+// timeliness lives in the link grades instead, so Network runs ignore it.
+func WithTimelinessBound(bound int) Option {
+	return func(rc *runConfig) {
+		rc.SolveConfig.TimelinessBound = bound
+		rc.DetectorConfig.TimelinessBound = bound
+	}
+}
+
+// NetworkConfig selects a message-passing substrate for RunDetector: a named
+// msgnet link-grade matrix under the heartbeat Ω detector.
+type NetworkConfig struct {
+	// Matrix names the link-grade matrix ("sync", "psync", "async",
+	// "mixed"); "" means mixed — three distinct grades plus one
+	// interval-varying link.
+	Matrix string
+	// Delta bounds the timely grades' delivery delay; 0 means 2.
+	Delta int
+	// GST is the partially synchronous grades' stabilization step; 0 means
+	// MaxSteps/4.
+	GST int
+	// Wild bounds deliveries outside any timeliness guarantee; 0 means the
+	// msgnet default.
+	Wild int
+}
+
+// Network routes RunDetector onto the message plane: the heartbeat Ω
+// detector over the configured link-grade matrix, scheduled by the same
+// deterministic seed. Solve rejects it — the paper's agreement construction
+// is register-based.
+func Network(nc NetworkConfig) Option {
+	return func(rc *runConfig) { rc.network = &nc }
+}
+
+func applyOptions(ctx context.Context, opts []Option) (context.Context, runConfig) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rc runConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&rc)
+		}
+	}
+	return ctx, rc
+}
+
+// Solve runs the paper's positive construction for the configured problem
+// and system on a simulated shared memory, then verifies uniform
+// k-agreement, uniform validity, and (within the crash budget) termination.
+// It returns an error if the combination is unsolvable (Theorem 27), if the
+// configuration is invalid, if the context is cancelled, or if the run
+// violates a property.
+func Solve(ctx context.Context, opts ...Option) (SolveResult, error) {
+	ctx, rc := applyOptions(ctx, opts)
+	if rc.network != nil {
+		return SolveResult{}, fmt.Errorf("settimeliness: the Network option applies to RunDetector only (the agreement construction is register-based)")
+	}
+	return solve(ctx, rc.SolveConfig)
+}
+
+// RunDetector runs a failure-detector workload and checks its property on
+// the recorded run. By default that is the Figure 2 implementation of
+// t-resilient k-anti-Ω in its matching system S^k_{t+1,n} on the register
+// plane; with the Network option it is the heartbeat Ω detector over a
+// graded message network instead.
+func RunDetector(ctx context.Context, opts ...Option) (DetectorResult, error) {
+	ctx, rc := applyOptions(ctx, opts)
+	if rc.network != nil {
+		return runNetworkDetector(ctx, rc.DetectorConfig, *rc.network)
+	}
+	return runDetector(ctx, rc.DetectorConfig)
+}
+
+// runNetworkDetector is the Network-option path: heartbeat Ω over a named
+// link-grade matrix, with the same stability contract as the register path
+// (a streak of identical Agree outputs across checkpoints).
+func runNetworkDetector(ctx context.Context, cfg DetectorConfig, nc NetworkConfig) (DetectorResult, error) {
+	var out DetectorResult
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000
+	}
+	matrix := nc.Matrix
+	if matrix == "" {
+		matrix = msgnet.MatrixMixed
+	}
+	delta := nc.Delta
+	if delta == 0 {
+		delta = 2
+	}
+	gst := nc.GST
+	if gst == 0 {
+		gst = maxSteps / 4
+	}
+	def, links, err := msgnet.BuildMatrix(matrix, cfg.N, delta, gst)
+	if err != nil {
+		return out, err
+	}
+	net, err := msgnet.New(msgnet.Config{
+		N:       cfg.N,
+		Default: def,
+		Links:   links,
+		Seed:    cfg.Seed,
+		Wild:    nc.Wild,
+	})
+	if err != nil {
+		return out, err
+	}
+	hb, err := msgnet.NewHeartbeat(msgnet.HeartbeatConfig{N: cfg.N})
+	if err != nil {
+		return out, err
+	}
+	runner, err := sim.NewRunner(sim.Config{N: cfg.N, Machine: hb.Machine, Network: net})
+	if err != nil {
+		return out, err
+	}
+	defer runner.Close()
+
+	src, err := sched.Random(cfg.N, cfg.Seed, cfg.Crashes)
+	if err != nil {
+		return out, err
+	}
+	correct := src.Correct()
+	streak := 0
+	var last procset.ID
+	res := runner.Run(src, maxSteps, 500, func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		l, ok := hb.Agree(correct)
+		if !ok {
+			streak = 0
+			return false
+		}
+		if l == last {
+			streak++
+		} else {
+			last, streak = l, 1
+		}
+		return streak >= 20
+	})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	out.Steps = runner.Steps()
+	if leader, ok := hb.Agree(correct); ok && res.Stopped {
+		out.Stable = true
+		out.Winnerset = NewSet(leader)
+	}
+	return out, nil
+}

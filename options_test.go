@@ -1,0 +1,135 @@
+package settimeliness
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestOptionsComposeOntoBothConfigs pins that shared options write through
+// to both embedded config structs, and the wholesale bridges replace them.
+func TestOptionsComposeOntoBothConfigs(t *testing.T) {
+	t.Parallel()
+	_, rc := applyOptions(nil, []Option{
+		WithProblem(NewProblem(2, 2, 4)),
+		WithSeed(7),
+		WithMaxSteps(1234),
+		WithTimelinessBound(8),
+		WithCrashes(map[ProcID]int{4: 30}),
+	})
+	if rc.SolveConfig.Problem != NewProblem(2, 2, 4) {
+		t.Errorf("solve problem = %v", rc.SolveConfig.Problem)
+	}
+	if rc.DetectorConfig.N != 4 || rc.DetectorConfig.K != 2 || rc.DetectorConfig.T != 2 {
+		t.Errorf("detector sizing = %d,%d,%d", rc.DetectorConfig.N, rc.DetectorConfig.K, rc.DetectorConfig.T)
+	}
+	if rc.SolveConfig.Seed != 7 || rc.DetectorConfig.Seed != 7 {
+		t.Error("seed did not reach both configs")
+	}
+	if rc.SolveConfig.MaxSteps != 1234 || rc.DetectorConfig.MaxSteps != 1234 {
+		t.Error("max steps did not reach both configs")
+	}
+	if rc.SolveConfig.TimelinessBound != 8 || rc.DetectorConfig.TimelinessBound != 8 {
+		t.Error("bound did not reach both configs")
+	}
+	if rc.SolveConfig.Crashes[4] != 30 || rc.DetectorConfig.Crashes[4] != 30 {
+		t.Error("crashes did not reach both configs")
+	}
+	_, rc = applyOptions(nil, []Option{
+		WithSolveConfig(SolveConfig{Seed: 1}),
+		WithDetectorConfig(DetectorConfig{Seed: 2}),
+	})
+	if rc.SolveConfig.Seed != 1 || rc.DetectorConfig.Seed != 2 {
+		t.Error("wholesale bridges did not replace the embedded configs")
+	}
+}
+
+// TestNetworkDetectorStabilizes runs the heartbeat Ω detector over the named
+// matrices through the public API: the fully synchronous matrix must elect
+// p1, and the mixed matrix must stabilize once its varying link turns timely.
+func TestNetworkDetectorStabilizes(t *testing.T) {
+	t.Parallel()
+	for _, matrix := range []string{"sync", "mixed"} {
+		res, err := RunDetector(context.Background(),
+			WithDetector(4, 0, 0),
+			WithSeed(11),
+			WithMaxSteps(200_000),
+			Network(NetworkConfig{Matrix: matrix}))
+		if err != nil {
+			t.Fatalf("%s: RunDetector: %v", matrix, err)
+		}
+		if !res.Stable {
+			t.Fatalf("%s: heartbeat detector did not stabilize: %+v", matrix, res)
+		}
+		if matrix == "sync" && res.Winnerset != NewSet(1) {
+			t.Fatalf("sync matrix elected %v, want {p1}", res.Winnerset)
+		}
+		if res.Winnerset.Size() != 1 {
+			t.Fatalf("%s: winnerset = %v, want a single leader", matrix, res.Winnerset)
+		}
+	}
+}
+
+// TestNetworkDetectorDeterministic pins seed determinism through the public
+// surface: same options, same result.
+func TestNetworkDetectorDeterministic(t *testing.T) {
+	t.Parallel()
+	opts := func() []Option {
+		return []Option{
+			WithDetector(3, 0, 0),
+			WithSeed(42),
+			WithMaxSteps(100_000),
+			Network(NetworkConfig{Matrix: "psync"}),
+		}
+	}
+	a, err := RunDetector(context.Background(), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDetector(context.Background(), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestNetworkOptionValidation pins the error paths: Solve rejects Network,
+// and the network detector validates its matrix and size.
+func TestNetworkOptionValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Solve(context.Background(),
+		WithProblem(NewProblem(1, 1, 3)),
+		Network(NetworkConfig{})); err == nil {
+		t.Error("Solve accepted the Network option")
+	}
+	if _, err := RunDetector(context.Background(),
+		WithDetector(4, 0, 0),
+		Network(NetworkConfig{Matrix: "nope"})); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+	if _, err := RunDetector(context.Background(),
+		Network(NetworkConfig{})); err == nil {
+		t.Error("network detector without a size accepted")
+	}
+}
+
+// TestContextCancellation pins that a cancelled context aborts both entry
+// points with ctx.Err().
+func TestContextCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, WithProblem(NewProblem(2, 2, 4))); !errors.Is(err, context.Canceled) {
+		t.Errorf("Solve under cancelled ctx: %v", err)
+	}
+	if _, err := RunDetector(ctx, WithDetector(4, 2, 2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunDetector under cancelled ctx: %v", err)
+	}
+	if _, err := RunDetector(ctx,
+		WithDetector(4, 0, 0),
+		Network(NetworkConfig{})); !errors.Is(err, context.Canceled) {
+		t.Errorf("network RunDetector under cancelled ctx: %v", err)
+	}
+}

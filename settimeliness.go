@@ -1,6 +1,7 @@
 package settimeliness
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/settimeliness/settimeliness/internal/antiomega"
@@ -105,12 +106,8 @@ type SolveResult struct {
 	Correct ProcSet
 }
 
-// Solve runs the paper's positive construction for the configured problem
-// and system on a simulated shared memory, then verifies uniform
-// k-agreement, uniform validity, and (within the crash budget) termination.
-// It returns an error if the combination is unsolvable (Theorem 27), if the
-// configuration is invalid, or if the run violates a property.
-func Solve(cfg SolveConfig) (SolveResult, error) {
+// solve is the register-plane agreement run behind the Solve entry point.
+func solve(ctx context.Context, cfg SolveConfig) (SolveResult, error) {
 	var out SolveResult
 	p := cfg.Problem
 	sys := cfg.System
@@ -167,8 +164,11 @@ func Solve(cfg SolveConfig) (SolveResult, error) {
 
 	correct := src.Correct()
 	res := runner.Run(src, maxSteps, 200, func() bool {
-		return correct.SubsetOf(ag.DecidedSet())
+		return ctx.Err() != nil || correct.SubsetOf(ag.DecidedSet())
 	})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	out.Decided = res.Stopped
 	out.Steps = runner.Steps()
@@ -222,10 +222,9 @@ type DetectorResult struct {
 	Steps int
 }
 
-// RunDetector runs the Figure 2 implementation of t-resilient k-anti-Ω in
-// its matching system S^k_{t+1,n} and checks the detector property on the
-// recorded run.
-func RunDetector(cfg DetectorConfig) (DetectorResult, error) {
+// runDetector is the register-plane Figure 2 run behind the RunDetector
+// entry point.
+func runDetector(ctx context.Context, cfg DetectorConfig) (DetectorResult, error) {
 	var out DetectorResult
 	acfg := antiomega.Config{N: cfg.N, K: cfg.K, T: cfg.T}
 	if err := acfg.Validate(); err != nil {
@@ -265,6 +264,9 @@ func RunDetector(cfg DetectorConfig) (DetectorResult, error) {
 	streak := 0
 	var last ProcSet
 	res := runner.Run(src, maxSteps, 500, func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
 		w, ok := det.StableWinnerset(correct)
 		if !ok {
 			streak = 0
@@ -277,6 +279,9 @@ func RunDetector(cfg DetectorConfig) (DetectorResult, error) {
 		}
 		return streak >= 20
 	})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	out.Stable = res.Stopped
 	out.Steps = runner.Steps()
 	if w, ok := det.StableWinnerset(correct); ok {

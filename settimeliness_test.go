@@ -1,6 +1,7 @@
 package settimeliness
 
 import (
+	"context"
 	"testing"
 )
 
@@ -63,11 +64,10 @@ func TestScheduleAnalysisAPI(t *testing.T) {
 
 func TestSolveEndToEnd(t *testing.T) {
 	t.Parallel()
-	res, err := Solve(SolveConfig{
-		Problem: NewProblem(2, 2, 4),
-		Crashes: map[ProcID]int{4: 50},
-		Seed:    3,
-	})
+	res, err := Solve(context.Background(),
+		WithProblem(NewProblem(2, 2, 4)),
+		WithCrashes(map[ProcID]int{4: 50}),
+		WithSeed(3))
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -84,12 +84,12 @@ func TestSolveEndToEnd(t *testing.T) {
 
 func TestSolveTrivialPath(t *testing.T) {
 	t.Parallel()
-	res, err := Solve(SolveConfig{
+	res, err := Solve(context.Background(), WithSolveConfig(SolveConfig{
 		Problem:  NewProblem(1, 2, 3),
 		System:   Sij(1, 1, 3), // asynchronous: k ≥ t+1 is solvable there
 		Seed:     5,
 		MaxSteps: 200_000,
-	})
+	}))
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -100,10 +100,9 @@ func TestSolveTrivialPath(t *testing.T) {
 
 func TestSolveRejectsUnsolvable(t *testing.T) {
 	t.Parallel()
-	_, err := Solve(SolveConfig{
-		Problem: NewProblem(3, 2, 5),
-		System:  Sij(2, 3, 5),
-	})
+	_, err := Solve(context.Background(),
+		WithProblem(NewProblem(3, 2, 5)),
+		WithSystem(Sij(2, 3, 5)))
 	if err == nil {
 		t.Fatal("unsolvable combination accepted")
 	}
@@ -111,11 +110,10 @@ func TestSolveRejectsUnsolvable(t *testing.T) {
 
 func TestSolveCustomProposals(t *testing.T) {
 	t.Parallel()
-	res, err := Solve(SolveConfig{
-		Problem:   NewProblem(1, 1, 3),
-		Proposals: map[ProcID]any{1: 100, 2: 200, 3: 300},
-		Seed:      7,
-	})
+	res, err := Solve(context.Background(),
+		WithProblem(NewProblem(1, 1, 3)),
+		WithProposals(map[ProcID]any{1: 100, 2: 200, 3: 300}),
+		WithSeed(7))
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -128,21 +126,19 @@ func TestSolveCustomProposals(t *testing.T) {
 		t.Errorf("consensus decided %d values", res.Distinct)
 	}
 	// Missing proposal is rejected.
-	if _, err := Solve(SolveConfig{
-		Problem:   NewProblem(1, 1, 3),
-		Proposals: map[ProcID]any{1: 100},
-	}); err == nil {
+	if _, err := Solve(context.Background(),
+		WithProblem(NewProblem(1, 1, 3)),
+		WithProposals(map[ProcID]any{1: 100})); err == nil {
 		t.Error("partial proposals accepted")
 	}
 }
 
 func TestRunDetectorAPI(t *testing.T) {
 	t.Parallel()
-	res, err := RunDetector(DetectorConfig{
-		N: 4, K: 2, T: 2,
-		Crashes: map[ProcID]int{4: 30},
-		Seed:    9,
-	})
+	res, err := RunDetector(context.Background(),
+		WithDetector(4, 2, 2),
+		WithCrashes(map[ProcID]int{4: 30}),
+		WithSeed(9))
 	if err != nil {
 		t.Fatalf("RunDetector: %v", err)
 	}
@@ -162,7 +158,7 @@ func TestRunDetectorAPI(t *testing.T) {
 
 func TestRunDetectorValidation(t *testing.T) {
 	t.Parallel()
-	if _, err := RunDetector(DetectorConfig{N: 2, K: 2, T: 1}); err == nil {
+	if _, err := RunDetector(context.Background(), WithDetector(2, 2, 1)); err == nil {
 		t.Error("k = n accepted")
 	}
 }
